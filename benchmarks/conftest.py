@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Block sizes default to bench-friendly values; set ``REPRO_PAPER_SCALE=1``
+to run the paper's exact 45 MB / 450 MB block sizes (slow in pure
+Python, but the shapes are identical).  Every figure bench also writes
+its rendered table to ``benchmarks/results/`` so the numbers survive the
+pytest-benchmark output.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+MB = 1 << 20
+
+PAPER_SCALE = bool(int(os.environ.get("REPRO_PAPER_SCALE", "0")))
+
+#: Block size for the coding micro-benchmarks (paper: 45 MB).
+MICRO_BLOCK = 45 * MB if PAPER_SCALE else 2 * MB
+#: Block size for the MapReduce experiments (paper: 450 MB) — simulated
+#: time, so the paper's size is the default.
+JOB_BLOCK = 450 * MB
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_table(table) -> None:
+    """Persist a rendered experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = "".join(c if c.isalnum() else "_" for c in table.title.lower())
+    slug = "_".join(filter(None, slug.split("_")))[:60]
+    path = RESULTS_DIR / f"{slug}.txt"
+    path.write_text(table.render() + "\n")
+    print()
+    print(table.render())
+
+
+@pytest.fixture(scope="session")
+def micro_block() -> int:
+    return MICRO_BLOCK
+
+
+@pytest.fixture(scope="session")
+def job_block() -> int:
+    return JOB_BLOCK

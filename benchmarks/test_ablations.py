@@ -1,0 +1,82 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Weight policy: performance-aware LP weights vs uniform weights.
+* Rotation strawman (Sec. III-D): servers woken per repair.
+* Construction cost: what symbol remapping costs at build time.
+* GF kernel throughput: the substrate every result above sits on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ablation_construction_cost,
+    ablation_group_placement,
+    ablation_rotation_wakeups,
+    ablation_weight_assignment,
+)
+from repro.gf import GF256, mat_data_product, random_symbols
+
+from benchmarks.conftest import write_table
+
+
+def test_weight_policy(benchmark):
+    table = benchmark.pedantic(ablation_weight_assignment, rounds=1, iterations=1)
+    write_table(table)
+    for row in table.rows:
+        assert row["aware"] <= row["uniform"] + 1e-9
+
+
+def test_group_placement(benchmark):
+    table = benchmark.pedantic(ablation_group_placement, rounds=1, iterations=1)
+    write_table(table)
+    for row in table.rows:
+        assert row["group_aware"] <= row["fast_first"] + 1e-9
+
+
+def test_rotation_wakeups(benchmark):
+    table = benchmark.pedantic(ablation_rotation_wakeups, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["rotated(4,2,1)"]["servers_woken"] >= 5
+    assert rows["galloper(4,2,1)"]["servers_woken"] == 2
+
+
+def test_construction_cost(benchmark):
+    table = benchmark.pedantic(
+        ablation_construction_cost, kwargs={"k_values": (4, 8, 12)}, rounds=1, iterations=1
+    )
+    write_table(table)
+    # Construction stays interactive even at k=12 (one-off cost per file).
+    assert all(row["galloper_hetero"] < 5.0 for row in table.rows)
+
+
+@pytest.mark.parametrize("k", [4, 12])
+def test_construction_speed(benchmark, k):
+    from repro.core import GalloperCode
+
+    benchmark.group = "construction"
+    code = benchmark(GalloperCode, k, 2, 1)
+    assert code.verify_systematic()
+
+
+@pytest.mark.parametrize("rows,cols", [(8, 4), (35, 28), (225, 180)])
+def test_gf_kernel_throughput(benchmark, rows, cols):
+    """The mat_data_product kernel at generator-like shapes."""
+    coeffs = random_symbols(GF256, (rows, cols), seed=1)
+    data = random_symbols(GF256, (cols, 65536), seed=2)
+    benchmark.group = "gf-kernel"
+    out = benchmark(mat_data_product, GF256, coeffs, data)
+    assert out.shape == (rows, 65536)
+
+
+def test_gf_inverse_speed(benchmark):
+    """Gauss-Jordan inversion at decode-matrix scale (kN = 84)."""
+    from repro.gf import inverse, is_invertible
+
+    m = random_symbols(GF256, (84, 84), seed=3)
+    while not is_invertible(GF256, m):  # pragma: no cover - unlikely
+        m = random_symbols(GF256, (84, 84), seed=int(m[0, 0]) + 7)
+    benchmark.group = "gf-kernel"
+    inv = benchmark(inverse, GF256, m)
+    assert inv.shape == (84, 84)

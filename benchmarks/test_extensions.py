@@ -1,0 +1,131 @@
+"""Extension benches: beyond the paper's figures.
+
+* All-symbol locality (the paper's stated future work, Sec. VII-A).
+* Durability / availability analysis (Markov MTTDL) — the operational
+  consequence of the repair-I/O differences in Figs. 1/8.
+"""
+
+import pytest
+
+from repro.bench import (
+    extension_all_symbol_locality,
+    extension_degraded_read,
+    extension_durability_campaign,
+    extension_rack_traffic,
+    extension_recovery_storm,
+    extension_reliability,
+    extension_speculation,
+    extension_update_cost,
+)
+
+from benchmarks.conftest import write_table
+
+
+def test_all_symbol_locality(benchmark):
+    table = benchmark.pedantic(extension_all_symbol_locality, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["galloper+allsym"]["gp_repair_mb"] == rows["galloper"]["gp_repair_mb"] / 2
+    assert rows["galloper+allsym"]["parallel"] == 9
+    assert rows["galloper+allsym"]["storage_overhead"] > rows["galloper"]["storage_overhead"]
+
+
+def test_reliability_analysis(benchmark):
+    table = benchmark.pedantic(extension_reliability, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    # Local repair -> higher MTTDL and less annual repair traffic than RS.
+    assert rows["pyramid(4,2,1)"]["mttdl_years"] > rows["rs(4,2)"]["mttdl_years"]
+    assert rows["pyramid(4,2,1)"]["traffic_gb_yr"] < rows["rs(4,2)"]["traffic_gb_yr"]
+    # Galloper preserves the durability of Pyramid exactly.
+    assert rows["galloper(4,2,1)"]["mttdl_years"] == pytest.approx(
+        rows["pyramid(4,2,1)"]["mttdl_years"], rel=1e-9
+    )
+    # ... while nearly doubling expected map parallelism.
+    assert rows["galloper(4,2,1)"]["parallel"] > rows["pyramid(4,2,1)"]["parallel"] * 1.5
+
+
+def test_recovery_storm(benchmark):
+    table = benchmark.pedantic(extension_recovery_storm, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["pyramid(4,2,1)"]["makespan_s"] < rows["rs(4,2)"]["makespan_s"]
+    assert rows["galloper(4,2,1)"]["bytes_read_gb"] == rows["pyramid(4,2,1)"]["bytes_read_gb"]
+    assert rows["replication(x3)"]["makespan_s"] < rows["pyramid(4,2,1)"]["makespan_s"]
+
+
+def test_degraded_read(benchmark):
+    table = benchmark.pedantic(extension_degraded_read, rounds=1, iterations=1)
+    write_table(table)
+    for row in table.rows:
+        assert row["healthy"] == pytest.approx(1.0, rel=0.01)
+        assert row["one_failure"] > 1.0
+
+
+def test_speculation_vs_weights(benchmark):
+    table = benchmark.pedantic(extension_speculation, rounds=1, iterations=1)
+    write_table(table)
+    rows = {(r["weights"], r["speculation"]): r for r in table.rows}
+    uniform, uniform_spec = rows[("uniform", False)], rows[("uniform", True)]
+    aware = rows[("aware", False)]
+    # Speculation helps uniform weights, at the cost of duplicate work...
+    assert uniform_spec["map_phase_s"] < uniform["map_phase_s"]
+    assert uniform_spec["backup_copies"] > 0
+    # ...but aware weights beat it without waste.
+    assert aware["map_phase_s"] <= uniform_spec["map_phase_s"]
+    assert aware["backup_copies"] == 0
+
+
+def test_rack_traffic(benchmark):
+    table = benchmark.pedantic(extension_rack_traffic, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["rs(4,2) scattered"]["cross_fraction"] > 0.5
+    assert rows["pyramid(4,2,1) rack-aware"]["cross_fraction"] < 0.5
+    # All-symbol + rack-aware: every repair group is rack-local.
+    assert rows["galloper(4,2,2)+as rack-aware"]["cross_rack_kb"] == 0
+
+
+def test_update_cost(benchmark):
+    table = benchmark.pedantic(extension_update_cost, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["rs(4,2)"]["avg_blocks"] == 3.0
+    assert rows["pyramid(4,2,1)"]["avg_blocks"] == 3.0
+    # Galloper's write-amplification premium is modest and bounded.
+    assert 3.0 < rows["galloper(4,2,1)"]["avg_blocks"] <= 5.0
+
+
+def test_durability_campaign(benchmark):
+    table = benchmark.pedantic(
+        extension_durability_campaign, kwargs={"trials": 150}, rounds=1, iterations=1
+    )
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["pyramid(4,2,1)"]["losses"] <= rows["rs(4,2)"]["losses"]
+    # Monte Carlo agrees with the Markov model within a small factor.
+    for row in table.rows:
+        if row["losses"] >= 5:
+            ratio = row["empirical_mttdl_h"] / row["analytic_mttdl_h"]
+            assert 0.2 < ratio < 5.0, row
+
+
+@pytest.mark.parametrize(
+    "code_name", ["rs", "pyramid", "galloper", "galloper_allsym", "replication"]
+)
+def test_mttdl_model_speed(benchmark, code_name):
+    """The survival-profile enumeration + CTMC solve, per code."""
+    from repro.analysis import mttdl_hours
+    from repro.codes import PyramidCode, ReedSolomonCode, ReplicationCode
+    from repro.core import GalloperCode
+
+    code = {
+        "rs": lambda: ReedSolomonCode(4, 2),
+        "pyramid": lambda: PyramidCode(4, 2, 1),
+        "galloper": lambda: GalloperCode(4, 2, 1),
+        "galloper_allsym": lambda: GalloperCode(4, 2, 2, all_symbol=True),
+        "replication": lambda: ReplicationCode(4, 3),
+    }[code_name]()
+    benchmark.group = "mttdl-model"
+    years = benchmark(mttdl_hours, code)
+    assert years > 0

@@ -1,0 +1,41 @@
+"""Fig. 10 — map completion time on throttled (40%) vs full-speed servers.
+
+Paper shape: with weights computed for the servers' real performance, map
+completion times on the two server classes converge and the phase
+shortens by ~32.6% versus homogeneous weights.
+"""
+
+import pytest
+
+from repro.bench import fig10_heterogeneous
+
+from benchmarks.conftest import JOB_BLOCK, write_table
+
+
+def test_fig10_table(benchmark):
+    table = benchmark.pedantic(
+        fig10_heterogeneous, kwargs={"block_bytes": JOB_BLOCK}, rounds=1, iterations=1
+    )
+    write_table(table)
+    rows = {r["weights"]: r for r in table.rows}
+    homo, hetero = rows["homogeneous"], rows["heterogeneous"]
+    assert homo["slow_servers"] > homo["fast_servers"] * 2
+    gap_before = homo["slow_servers"] / homo["fast_servers"]
+    gap_after = hetero["slow_servers"] / hetero["fast_servers"]
+    assert gap_after < gap_before / 1.5
+    saving = 1 - hetero["map_phase"] / homo["map_phase"]
+    assert 0.2 <= saving <= 0.5  # paper: 32.6%
+
+
+@pytest.mark.parametrize("slow_speed", [0.2, 0.4, 0.6, 0.8])
+def test_saving_vs_throttle_depth(benchmark, slow_speed):
+    """Sensitivity sweep: the deeper the throttle, the bigger the win."""
+    benchmark.group = "fig10-sweep"
+    table = benchmark.pedantic(
+        fig10_heterogeneous,
+        kwargs={"slow_speed": slow_speed, "block_bytes": JOB_BLOCK},
+        rounds=1,
+        iterations=1,
+    )
+    rows = {r["weights"]: r for r in table.rows}
+    assert rows["heterogeneous"]["map_phase"] <= rows["homogeneous"]["map_phase"] + 1e-9

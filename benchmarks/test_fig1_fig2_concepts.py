@@ -1,0 +1,38 @@
+"""Figs. 1 and 2 — the paper's motivating comparisons, measured.
+
+Fig. 1: disk I/O to repair one lost data block (Reed-Solomon reads k
+blocks; a locally repairable code reads k/l).  Fig. 2: how many servers
+can run map tasks (data parallelism).
+"""
+
+from repro.bench import fig1_locality, fig2_parallelism
+
+from benchmarks.conftest import write_table
+
+
+def test_fig1_repair_io(benchmark):
+    table = benchmark.pedantic(fig1_locality, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["pyramid(4,2,1)"]["disk_io_mb"] == rows["rs(4,2)"]["disk_io_mb"] / 2
+    assert rows["galloper(4,2,1)"]["disk_io_mb"] == rows["pyramid(4,2,1)"]["disk_io_mb"]
+    assert rows["replication(x3)"]["blocks_read"] == 1
+
+
+def test_fig2_parallelism(benchmark):
+    table = benchmark.pedantic(fig2_parallelism, rounds=1, iterations=1)
+    write_table(table)
+    rows = {r["code"]: r for r in table.rows}
+    assert rows["galloper(4,2,1)"]["parallel_servers"] == rows["galloper(4,2,1)"]["total_servers"]
+    assert rows["pyramid(4,2,1)"]["parallel_servers"] == 4
+    assert rows["rs(4,2)"]["parallel_servers"] == 4
+
+
+def test_repair_plan_computation_speed(benchmark):
+    """Micro: planning a local repair is O(group size), effectively free."""
+    from repro.core import GalloperCode
+
+    code = GalloperCode(4, 2, 1)
+    benchmark.group = "plan-overhead"
+    plan = benchmark(code.repair_plan, 0)
+    assert plan.blocks_read == 2

@@ -1,0 +1,39 @@
+"""Fig. 7a — encoding time vs k for (k,2) RS, (k,2,1) Pyramid, (k,2,1) Galloper.
+
+Paper shape: time grows with k; Pyramid and Galloper cost slightly more
+than Reed-Solomon (one extra block), and Galloper tracks Pyramid closely.
+"""
+
+import pytest
+
+from repro.bench import fig7_encoding
+from repro.bench.experiments import _codes_for_k, _data_for
+
+from benchmarks.conftest import MICRO_BLOCK, write_table
+
+K_VALUES = (4, 6, 8, 10, 12)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("code_name", ["rs", "pyramid", "galloper"])
+def test_encode(benchmark, code_name, k):
+    code = _codes_for_k(k)[code_name]
+    data = _data_for(code, MICRO_BLOCK, seed=k)
+    benchmark.group = f"fig7a-encode-k{k}"
+    blocks = benchmark(code.encode, data)
+    assert blocks.shape[0] == code.n
+
+
+def test_fig7a_table(benchmark):
+    table = benchmark.pedantic(
+        fig7_encoding,
+        kwargs={"k_values": K_VALUES, "block_bytes": MICRO_BLOCK, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    write_table(table)
+    for name in ("rs", "pyramid", "galloper"):
+        col = table.column(name)
+        assert col[-1] > col[0] * 0.8, f"{name}: encode time should grow with k"
+    for row in table.rows:
+        assert row["galloper"] < row["pyramid"] * 3, "Galloper must track Pyramid"

@@ -1,0 +1,57 @@
+"""Fig. 8 — per-block reconstruction time (a) and disk I/O (b).
+
+Paper shape: for blocks 1-6 (data and local parities) the Pyramid and
+Galloper codes repair from 2 blocks — half the Reed-Solomon disk I/O and
+well under half the time.  Block 7 (the global parity) costs a k-block
+read for both locally repairable codes.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import fig8_reconstruction
+from repro.bench.experiments import _codes_for_k, _data_for
+
+from benchmarks.conftest import MICRO_BLOCK, write_table
+
+_state = {}
+
+
+def _encoded(code_name):
+    if code_name not in _state:
+        code = _codes_for_k(4)[code_name]
+        data = _data_for(code, MICRO_BLOCK, seed=17)
+        _state[code_name] = (code, code.encode(data))
+    return _state[code_name]
+
+
+@pytest.mark.parametrize("target", range(7))
+@pytest.mark.parametrize("code_name", ["rs", "pyramid", "galloper"])
+def test_reconstruct(benchmark, code_name, target):
+    code, blocks = _encoded(code_name)
+    if target >= code.n:
+        pytest.skip("Reed-Solomon has only 6 blocks")
+    available = {b: blocks[b] for b in range(code.n) if b != target}
+    plan = code.repair_plan(target)
+    benchmark.group = f"fig8-block{target + 1}"
+    rebuilt, _ = benchmark(code.reconstruct, target, available, plan)
+    assert rebuilt.shape == blocks[target].shape
+
+
+def test_fig8_table(benchmark):
+    table = benchmark.pedantic(
+        fig8_reconstruction,
+        kwargs={"block_bytes": MICRO_BLOCK, "repeats": 1},
+        rounds=1,
+        iterations=1,
+    )
+    write_table(table)
+    mb = MICRO_BLOCK / (1 << 20)
+    for row in table.rows[:6]:
+        assert row["pyramid_io"] == pytest.approx(2 * mb)
+        assert row["galloper_io"] == pytest.approx(2 * mb)
+        assert row["rs_io"] == pytest.approx(4 * mb)
+        assert row["galloper_time"] < row["rs_time"]
+    assert table.rows[6]["galloper_io"] == pytest.approx(4 * mb)
+    assert math.isnan(table.rows[6]["rs_io"])

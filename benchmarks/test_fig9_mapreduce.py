@@ -1,0 +1,52 @@
+"""Fig. 9 — terasort and wordcount completion times, Pyramid vs Galloper.
+
+Paper numbers (30 x r3.large, 450 MB blocks, k=4, l=2, g=1): map time
+saved 31.5% (terasort) and 40.1% (wordcount); job time saved 30.4% and
+36.4%; the theoretical bound is 42.9% (= 1 - 4/7).  The simulated-time
+reproduction lands inside the same envelope.
+"""
+
+import pytest
+
+from repro.bench import fig9_mapreduce
+
+from benchmarks.conftest import JOB_BLOCK, write_table
+
+
+def test_fig9_table(benchmark):
+    table = benchmark.pedantic(
+        fig9_mapreduce, kwargs={"block_bytes": JOB_BLOCK}, rounds=1, iterations=1
+    )
+    write_table(table)
+    rows = {(r["benchmark"], r["code"]): r for r in table.rows}
+    for bench in ("terasort", "wordcount"):
+        pyr, gal = rows[(bench, "pyramid")], rows[(bench, "galloper")]
+        map_saving = 1 - gal["map"] / pyr["map"]
+        job_saving = 1 - gal["job"] / pyr["job"]
+        assert 0.25 <= map_saving <= 0.429 + 1e-6, (bench, map_saving)
+        assert job_saving >= 0.25, (bench, job_saving)
+        assert gal["reduce"] == pytest.approx(pyr["reduce"], rel=0.05)
+
+
+@pytest.mark.parametrize("code_name", ["pyramid", "galloper"])
+def test_simulated_job(benchmark, code_name):
+    """Time the simulator itself on one wordcount run (scheduler overhead)."""
+    from repro.cluster import Cluster
+    from repro.codes import PyramidCode
+    from repro.core import GalloperCode
+    from repro.mapreduce import DataBlockInputFormat, GalloperInputFormat, MapReduceRuntime
+    from repro.mapreduce.workloads import wordcount_job
+    from repro.storage import DistributedFileSystem
+
+    cluster = Cluster.homogeneous(30)
+    dfs = DistributedFileSystem(cluster)
+    if code_name == "pyramid":
+        dfs.write_virtual_file("f", 4 * JOB_BLOCK, code=PyramidCode(4, 2, 1))
+        fmt = DataBlockInputFormat()
+    else:
+        dfs.write_virtual_file("f", 4 * JOB_BLOCK, code=GalloperCode(4, 2, 1))
+        fmt = GalloperInputFormat()
+    runtime = MapReduceRuntime(dfs, execute=False)
+    benchmark.group = "fig9-simulator-overhead"
+    res = benchmark(runtime.run, wordcount_job("f"), fmt)
+    assert res.job_time > 0

@@ -1,0 +1,65 @@
+"""Integrity scrubbing and the server-recovery storm.
+
+Two operational scenarios beyond the paper's figures:
+
+1. **Silent corruption**: a byte rots inside a stored block.  Checksums
+   catch it during a scrub pass, and the block heals through the code's
+   cheap local repair path.
+2. **Recovery storm**: a whole server dies and every stripe it held
+   repairs at once, contending for the survivors' disks.  The simulation
+   shows how repair locality shortens the storm.
+
+Run:  python examples/integrity_and_recovery.py
+"""
+
+import numpy as np
+
+from repro import Cluster, DistributedFileSystem, GalloperCode, PyramidCode, ReedSolomonCode
+from repro.codes import ReplicationCode
+from repro.storage import Scrubber
+from repro.storage.recovery import simulate_server_recovery
+
+
+def scrubbing_demo() -> None:
+    print("=== silent corruption -> scrub -> local heal ===")
+    cluster = Cluster.homogeneous(10)
+    dfs = DistributedFileSystem(cluster)
+    rng = np.random.default_rng(5)
+    payload = rng.integers(0, 256, 70_000, dtype=np.uint8).tobytes()
+    ef = dfs.write_file("archive", payload, code=GalloperCode(4, 2, 1))
+
+    # Bit rot strikes two blocks.
+    dfs.store.corrupt(ef.server_of(1), "archive", 1, offset=1234)
+    dfs.store.corrupt(ef.server_of(6), "archive", 6, offset=9)
+
+    report = Scrubber(dfs).scrub()
+    print(f"scrubbed {report.blocks_checked} blocks; corrupted: {report.corrupted}")
+    for rep in report.repairs:
+        print(f"  block {rep.block} healed from blocks {list(rep.helpers)} "
+              f"({rep.bytes_read} bytes read) on server {rep.target_server}")
+    assert dfs.read_file("archive") == payload
+    print("file verified byte-for-byte after healing\n")
+
+
+def recovery_storm_demo() -> None:
+    print("=== server death: recovery storm across codes ===")
+    print(f"{'code':<17}{'makespan (s)':>13}{'mean repair (s)':>17}{'GB read':>9}{'hotspot MB':>12}")
+    for name, code in (
+        ("rs(4,2)", ReedSolomonCode(4, 2)),
+        ("pyramid(4,2,1)", PyramidCode(4, 2, 1)),
+        ("galloper(4,2,1)", GalloperCode(4, 2, 1)),
+        ("galloper+allsym", GalloperCode(4, 2, 2, all_symbol=True)),
+        ("replication(x3)", ReplicationCode(4, 3)),
+    ):
+        o = simulate_server_recovery(code, lost_blocks=60, num_servers=20, seed=3)
+        print(
+            f"{name:<17}{o.makespan:>13.1f}{o.mean_repair_time:>17.1f}"
+            f"{o.bytes_read / (1 << 30):>9.2f}{o.max_server_load / (1 << 20):>12.0f}"
+        )
+    print("\nlocal repair halves the storm's byte volume versus Reed-Solomon;")
+    print("replication is fastest but costs 3x storage (vs 1.75x for the LRCs).")
+
+
+if __name__ == "__main__":
+    scrubbing_demo()
+    recovery_storm_demo()

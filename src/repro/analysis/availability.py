@@ -1,0 +1,77 @@
+"""Availability analysis: what fraction of reads degrade or fail.
+
+Given each server is independently down with probability ``p`` (transient
+unavailability, not data loss), a read of the original data either
+
+* proceeds *normally* — every needed data stripe's home server is up,
+* is *degraded* — decoding around the missing servers still works, or
+* *fails* — too many servers are down to decode.
+
+For parallelism-aware codes there is a fourth quantity: the expected
+fraction of map-task capacity that survives, since original data lives on
+every server.  All four are exact sums over server-subset states,
+weighted binomially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.codes.base import ErasureCode
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Exact availability numbers for one code at one failure probability.
+
+    Attributes:
+        p: per-server unavailability probability.
+        normal_read: P(all data-bearing stripes directly readable).
+        degraded_read: P(some direct reads missing but decodable).
+        unavailable: P(not decodable).
+        expected_parallelism: expected number of servers able to serve
+            map tasks (holding >= 1 original stripe and up).
+    """
+
+    p: float
+    normal_read: float
+    degraded_read: float
+    unavailable: float
+    expected_parallelism: float
+
+    @property
+    def available(self) -> float:
+        return self.normal_read + self.degraded_read
+
+
+def availability(code: ErasureCode, p: float) -> AvailabilityReport:
+    """Exact availability by enumerating all 2^n up/down states.
+
+    Fine for the paper-scale codes (n <= ~15 -> 32k states).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability {p} outside [0, 1]")
+    n = code.n
+    data_holders = [i for i, info in enumerate(code.block_infos) if info.data_stripes > 0]
+    normal = degraded = unavailable = parallel = 0.0
+    for down_count in range(n + 1):
+        weight = (p**down_count) * ((1.0 - p) ** (n - down_count))
+        for down in combinations(range(n), down_count):
+            down_set = set(down)
+            up = [b for b in range(n) if b not in down_set]
+            up_holders = sum(1 for b in data_holders if b not in down_set)
+            parallel += weight * up_holders
+            if not (set(data_holders) & down_set):
+                normal += weight
+            elif code.can_decode(up):
+                degraded += weight
+            else:
+                unavailable += weight
+    return AvailabilityReport(
+        p=p,
+        normal_read=normal,
+        degraded_read=degraded,
+        unavailable=unavailable,
+        expected_parallelism=parallel,
+    )

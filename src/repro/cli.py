@@ -1,0 +1,373 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Brings the library to the shell the way a storage tool would be used:
+
+* ``info``    — describe a code: layout, weights, locality, durability.
+* ``encode``  — encode a local file into per-block files + a manifest.
+* ``decode``  — recover the original file from (a subset of) block files.
+* ``repair``  — rebuild one missing block file from the survivors.
+* ``analyze`` — reliability / availability report for a code.
+* ``figures`` — regenerate the paper's experiment tables.
+
+The on-disk layout written by ``encode`` is one ``block_XXX.bin`` per
+coded block plus ``manifest.json`` holding the code parameters (including
+exact rational weights), so ``decode``/``repair`` reconstruct the exact
+same generator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import numpy as np
+
+from repro.codes import PyramidCode, ReedSolomonCode
+from repro.codes.base import ErasureCode
+from repro.core import GalloperCode
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CLIError(Exception):
+    """User-facing CLI failure."""
+
+
+# --------------------------------------------------------------- code setup
+
+
+def _parse_performances(text: str | None) -> list[float] | None:
+    if not text:
+        return None
+    try:
+        return [float(x) for x in text.split(",")]
+    except ValueError as exc:
+        raise CLIError(f"bad --performances value {text!r}: {exc}") from None
+
+
+def build_code(args) -> ErasureCode:
+    """Construct a code from CLI arguments."""
+    kind = args.code
+    if kind == "rs":
+        return ReedSolomonCode(args.k, args.g)
+    if kind == "pyramid":
+        return PyramidCode(args.k, args.l, args.g, all_symbol=args.all_symbol)
+    if kind == "galloper":
+        return GalloperCode(
+            args.k,
+            args.l,
+            args.g,
+            performances=_parse_performances(getattr(args, "performances", None)),
+            all_symbol=args.all_symbol,
+        )
+    raise CLIError(f"unknown code {kind!r}")
+
+
+def _add_code_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--code", choices=("galloper", "pyramid", "rs"), default="galloper")
+    parser.add_argument("--k", type=int, default=4, help="data blocks (default 4)")
+    parser.add_argument("--l", type=int, default=2, help="local parity blocks (default 2)")
+    parser.add_argument("--g", type=int, default=1, help="global parity blocks (default 1)")
+    parser.add_argument(
+        "--all-symbol", action="store_true", help="all-symbol locality (extra GP-group parity)"
+    )
+    parser.add_argument(
+        "--performances",
+        help="comma-separated server performance vector for Galloper weights",
+    )
+
+
+# ------------------------------------------------------------------ manifest
+
+
+def code_to_manifest(code: ErasureCode, original_size: int, stripe_size: int) -> dict:
+    entry = {
+        "original_size": original_size,
+        "stripe_size": stripe_size,
+        "n": code.n,
+        "N": code.N,
+        "k": code.k,
+    }
+    if isinstance(code, GalloperCode):
+        entry["code"] = "galloper"
+        entry["l"] = code.l
+        entry["g"] = code.g
+        entry["all_symbol"] = code.structure.all_symbol
+        entry["weights"] = [str(w) for w in code.weights]
+    elif isinstance(code, PyramidCode):
+        entry["code"] = "pyramid"
+        entry["l"] = code.l
+        entry["g"] = code.g
+        entry["all_symbol"] = code.structure.all_symbol
+    elif isinstance(code, ReedSolomonCode):
+        entry["code"] = "rs"
+        entry["r"] = code.r
+    else:
+        raise CLIError(f"cannot serialize code {type(code).__name__}")
+    return entry
+
+
+def code_from_manifest(manifest: dict) -> ErasureCode:
+    kind = manifest["code"]
+    if kind == "rs":
+        return ReedSolomonCode(manifest["k"], manifest["r"])
+    if kind == "pyramid":
+        return PyramidCode(
+            manifest["k"], manifest["l"], manifest["g"], all_symbol=manifest.get("all_symbol", False)
+        )
+    if kind == "galloper":
+        return GalloperCode(
+            manifest["k"],
+            manifest["l"],
+            manifest["g"],
+            weights=[Fraction(w) for w in manifest["weights"]],
+            all_symbol=manifest.get("all_symbol", False),
+        )
+    raise CLIError(f"manifest names unknown code {kind!r}")
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / MANIFEST_NAME
+    if not path.exists():
+        raise CLIError(f"no {MANIFEST_NAME} in {directory}")
+    return json.loads(path.read_text())
+
+
+def _block_path(directory: Path, block: int) -> Path:
+    return directory / f"block_{block:03d}.bin"
+
+
+# ------------------------------------------------------------------ commands
+
+
+def cmd_info(args, out=None) -> int:
+    out = out or sys.stdout
+    code = build_code(args)
+    st = getattr(code, "structure", None)
+    print(f"{code!r}", file=out)
+    print(f"  blocks           : {code.n} ({code.N} stripes each)", file=out)
+    print(f"  storage overhead : {code.storage_overhead():.3f}x", file=out)
+    if st is not None:
+        print(f"  failure tolerance: any {st.failure_tolerance()} blocks", file=out)
+    print(f"  data parallelism : {code.parallelism()} / {code.n} servers", file=out)
+    for info in code.block_infos:
+        bar = "#" * info.data_stripes + "." * (info.total_stripes - info.data_stripes)
+        plan = code.repair_plan(info.index)
+        print(
+            f"  block {info.index:>2} [{bar}] {info.role:<13} "
+            f"data {info.data_stripes}/{info.total_stripes}, repair reads {plan.blocks_read}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_encode(args, out=None) -> int:
+    out = out or sys.stdout
+    src = Path(args.input)
+    if not src.exists():
+        raise CLIError(f"input file {src} not found")
+    dest = Path(args.output_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    code = build_code(args)
+
+    payload = np.frombuffer(src.read_bytes(), dtype=np.uint8)
+    total = code.data_stripe_total
+    original_size = payload.size
+    padded = max(total, int(np.ceil(original_size / total) * total))
+    if padded != original_size:
+        payload = np.concatenate([payload, np.zeros(padded - original_size, dtype=np.uint8)])
+    grid = payload.reshape(total, padded // total)
+    blocks = code.encode(grid)
+    for b in range(code.n):
+        _block_path(dest, b).write_bytes(blocks[b].tobytes())
+    manifest = code_to_manifest(code, original_size, grid.shape[1])
+    (dest / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    print(
+        f"encoded {original_size} bytes -> {code.n} blocks of "
+        f"{code.N * grid.shape[1]} bytes in {dest}",
+        file=out,
+    )
+    return 0
+
+
+def _load_blocks(directory: Path, code: ErasureCode, stripe_size: int, exclude: set[int]):
+    available = {}
+    for b in range(code.n):
+        if b in exclude:
+            continue
+        path = _block_path(directory, b)
+        if not path.exists():
+            continue
+        raw = np.frombuffer(path.read_bytes(), dtype=np.uint8)
+        available[b] = raw.reshape(code.N, stripe_size)
+    return available
+
+
+def cmd_decode(args, out=None) -> int:
+    out = out or sys.stdout
+    directory = Path(args.block_dir)
+    manifest = _read_manifest(directory)
+    code = code_from_manifest(manifest)
+    exclude = {int(x) for x in args.exclude.split(",")} if args.exclude else set()
+    available = _load_blocks(directory, code, manifest["stripe_size"], exclude)
+    grid = code.decode(available)
+    flat = grid.reshape(-1)[: manifest["original_size"]]
+    Path(args.output).write_bytes(flat.astype(np.uint8).tobytes())
+    print(
+        f"decoded {manifest['original_size']} bytes from {len(available)} blocks "
+        f"-> {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_repair(args, out=None) -> int:
+    out = out or sys.stdout
+    directory = Path(args.block_dir)
+    manifest = _read_manifest(directory)
+    code = code_from_manifest(manifest)
+    target = args.block
+    if not 0 <= target < code.n:
+        raise CLIError(f"block {target} out of range (code has {code.n} blocks)")
+    available = _load_blocks(directory, code, manifest["stripe_size"], exclude={target})
+    failed = {b for b in range(code.n) if b not in available}
+    plan = code.repair_plan(target, failed)
+    rebuilt, plan = code.reconstruct(target, available, plan)
+    _block_path(directory, target).write_bytes(rebuilt.tobytes())
+    print(
+        f"rebuilt block {target} from blocks {list(plan.helpers)} "
+        f"({plan.bytes_read(rebuilt.nbytes)} bytes read)",
+        file=out,
+    )
+    return 0
+
+
+def cmd_analyze(args, out=None) -> int:
+    out = out or sys.stdout
+    from repro.analysis import (
+        annual_repair_traffic_bytes,
+        availability,
+        average_repair_reads,
+        durability_nines,
+        mttdl_years,
+        survival_profile,
+    )
+
+    code = build_code(args)
+    profile = survival_profile(code)
+    print(f"{code!r}", file=out)
+    print(f"  guaranteed tolerance : {profile.guaranteed_tolerance()} failures", file=out)
+    for j in range(1, len(profile.survivable)):
+        frac = profile.survival_fraction(j)
+        print(f"  survive {j} failures   : {frac:.4%}", file=out)
+    print(f"  MTTDL                : {mttdl_years(code):.3e} years "
+          f"({durability_nines(code):.1f} nines)", file=out)
+    print(f"  avg repair reads     : {average_repair_reads(code):.2f} blocks", file=out)
+    print(f"  repair traffic       : {annual_repair_traffic_bytes(code) / (1 << 30):.2f} GiB/yr/stripe",
+          file=out)
+    rep = availability(code, args.p)
+    print(f"  availability (p={args.p}) : normal {rep.normal_read:.6f}, "
+          f"degraded {rep.degraded_read:.6f}, lost {rep.unavailable:.2e}", file=out)
+    print(f"  expected map servers : {rep.expected_parallelism:.2f} / {code.n}", file=out)
+    return 0
+
+
+FIGURES = {
+    "fig1": "fig1_locality",
+    "fig2": "fig2_parallelism",
+    "fig7a": "fig7_encoding",
+    "fig7b": "fig7_decoding",
+    "fig8": "fig8_reconstruction",
+    "fig9": "fig9_mapreduce",
+    "fig10": "fig10_heterogeneous",
+    "allsymbol": "extension_all_symbol_locality",
+    "reliability": "extension_reliability",
+    "storm": "extension_recovery_storm",
+    "degraded": "extension_degraded_read",
+    "updates": "extension_update_cost",
+    "campaign": "extension_durability_campaign",
+    "speculation": "extension_speculation",
+    "racks": "extension_rack_traffic",
+    "placement": "ablation_group_placement",
+    "weights": "ablation_weight_assignment",
+    "rotation": "ablation_rotation_wakeups",
+}
+
+
+def cmd_figures(args, out=None) -> int:
+    out = out or sys.stdout
+    import repro.bench as bench
+
+    wanted = args.only.split(",") if args.only else list(FIGURES)
+    for name in wanted:
+        if name not in FIGURES:
+            raise CLIError(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
+        fn = getattr(bench, FIGURES[name])
+        kwargs = {}
+        if name in ("fig7a", "fig7b", "fig8"):
+            kwargs["block_bytes"] = args.block_mb << 20
+        table = fn(**kwargs)
+        print(table.render(), file=out)
+        print(file=out)
+    return 0
+
+
+# --------------------------------------------------------------------- main
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Galloper codes (ICDCS 2018) — encode, repair and analyze",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="describe a code's layout and repair costs")
+    _add_code_args(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("encode", help="encode a local file into block files")
+    p.add_argument("input")
+    p.add_argument("output_dir")
+    _add_code_args(p)
+    p.set_defaults(func=cmd_encode)
+
+    p = sub.add_parser("decode", help="recover the original file from block files")
+    p.add_argument("block_dir")
+    p.add_argument("output")
+    p.add_argument("--exclude", help="comma-separated block ids to ignore (simulate loss)")
+    p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("repair", help="rebuild one missing block file")
+    p.add_argument("block_dir")
+    p.add_argument("block", type=int)
+    p.set_defaults(func=cmd_repair)
+
+    p = sub.add_parser("analyze", help="reliability / availability report")
+    _add_code_args(p)
+    p.add_argument("--p", type=float, default=0.01, help="per-server unavailability (default 0.01)")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("figures", help="regenerate the paper's experiment tables")
+    p.add_argument("--only", help="comma-separated figure ids (e.g. fig9,fig10)")
+    p.add_argument("--block-mb", type=int, default=2, help="block MB for timing figures")
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

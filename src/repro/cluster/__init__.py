@@ -1,0 +1,33 @@
+"""Cluster model: heterogeneous servers, placement, failures."""
+
+from repro.cluster.failure import FailureEvent, FailureInjector, poisson_failure_trace
+from repro.cluster.placement import (
+    GroupAwarePlacement,
+    PerformanceAwarePlacement,
+    PlacementError,
+    PlacementPolicy,
+    RackAwarePlacement,
+    RandomPlacement,
+    RoundRobinPlacement,
+)
+from repro.cluster.server import GB, MB, Server
+from repro.cluster.topology import DEFAULT_BLOCK_SIZE, Cluster, ClusterError
+
+__all__ = [
+    "FailureEvent",
+    "FailureInjector",
+    "poisson_failure_trace",
+    "GroupAwarePlacement",
+    "PerformanceAwarePlacement",
+    "PlacementError",
+    "PlacementPolicy",
+    "RackAwarePlacement",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "GB",
+    "MB",
+    "Server",
+    "DEFAULT_BLOCK_SIZE",
+    "Cluster",
+    "ClusterError",
+]

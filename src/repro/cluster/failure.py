@@ -1,0 +1,79 @@
+"""Failure injection.
+
+Commodity-hardware clusters fail constantly (paper Sec. I); the repair
+pipeline and the degraded-read path are exercised by injecting crashes.
+Two tools: an immediate injector for tests, and a Poisson-process trace
+generator for longer simulated campaigns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.topology import Cluster
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled crash (and optional recovery)."""
+
+    time: float
+    server_id: int
+    recover_at: float | None = None
+
+
+class FailureInjector:
+    """Schedules crash/recover events on a simulation."""
+
+    def __init__(self, sim: Simulation, cluster: Cluster):
+        self.sim = sim
+        self.cluster = cluster
+        self.injected: list[FailureEvent] = []
+
+    def crash_at(self, time: float, server_id: int, recover_after: float | None = None) -> FailureEvent:
+        ev = FailureEvent(
+            time=time,
+            server_id=server_id,
+            recover_at=None if recover_after is None else time + recover_after,
+        )
+        self.sim.schedule_at(time, lambda: self.cluster.fail(server_id), name=f"crash:{server_id}")
+        if ev.recover_at is not None:
+            self.sim.schedule_at(
+                ev.recover_at, lambda: self.cluster.recover(server_id), name=f"recover:{server_id}"
+            )
+        self.injected.append(ev)
+        return ev
+
+
+def poisson_failure_trace(
+    server_ids,
+    horizon: float,
+    mtbf: float,
+    seed: int = 0,
+    mttr: float | None = None,
+) -> list[FailureEvent]:
+    """Generate a deterministic Poisson crash trace.
+
+    Args:
+        server_ids: servers eligible to fail.
+        horizon: trace length in seconds.
+        mtbf: per-server mean time between failures.
+        seed: RNG seed (traces are reproducible).
+        mttr: mean time to recover; ``None`` leaves servers down.
+
+    Returns:
+        Events sorted by time.
+    """
+    rng = random.Random(seed)
+    events: list[FailureEvent] = []
+    for sid in server_ids:
+        t = rng.expovariate(1.0 / mtbf)
+        while t < horizon:
+            rec = None if mttr is None else t + rng.expovariate(1.0 / mttr)
+            events.append(FailureEvent(time=t, server_id=sid, recover_at=rec))
+            step = rng.expovariate(1.0 / mtbf)
+            t = (rec if rec is not None else t) + step
+    events.sort(key=lambda e: e.time)
+    return events

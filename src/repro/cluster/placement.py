@@ -1,0 +1,210 @@
+"""Block placement policies.
+
+A placement maps the ``n`` blocks of a codeword to distinct servers (the
+standard fault-isolation rule: one block of a stripe per server).  The
+performance-aware policy additionally pairs heavy blocks with fast
+servers, which is how a Galloper deployment realizes its weights: weights
+are computed *for* a server order, so the placement and the weight
+assignment must agree — :func:`repro.storage.filesystem.DistributedFileSystem.write_file`
+wires the two together.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections.abc import Sequence
+
+from repro.cluster.topology import Cluster, ClusterError
+
+
+class PlacementError(ClusterError):
+    """Raised when blocks cannot be placed."""
+
+
+class PlacementPolicy(abc.ABC):
+    """Strategy choosing which server stores each block of a codeword."""
+
+    @abc.abstractmethod
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        """Return ``num_blocks`` distinct alive server ids, block order."""
+
+    @staticmethod
+    def _require(cluster: Cluster, num_blocks: int) -> list[int]:
+        alive = cluster.alive_ids()
+        if len(alive) < num_blocks:
+            raise PlacementError(
+                f"need {num_blocks} servers for one block each, only {len(alive)} alive"
+            )
+        return alive
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deterministic: the first ``n`` alive servers, optionally offset."""
+
+    def __init__(self, offset: int = 0):
+        self.offset = offset
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        alive = self._require(cluster, num_blocks)
+        start = self.offset % len(alive)
+        rotated = alive[start:] + alive[:start]
+        return rotated[:num_blocks]
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniformly random distinct servers, seeded for reproducibility."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        alive = self._require(cluster, num_blocks)
+        return self._rng.sample(alive, num_blocks)
+
+
+class GroupAwarePlacement(PlacementPolicy):
+    """Balance server speeds *across* repair groups.
+
+    The Galloper weight LP is constrained per group (``w_ig <= 1``): a
+    group made entirely of fast servers cannot absorb their proportional
+    share of data, so its members get throttled (see the fig. 10
+    experiments).  Dealing the speed-ranked servers across groups
+    snake-draft style equalizes group performance sums, which loosens the
+    group constraints and lets weights track server speed more closely.
+
+    The policy needs the code's group geometry: pass the
+    :class:`~repro.codes.structure.LRCStructure` the file will use.
+    """
+
+    def __init__(self, structure, metric: str = "cpu_speed"):
+        self.structure = structure
+        self.metric = metric
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        st = self.structure
+        if num_blocks != st.n:
+            raise PlacementError(
+                f"structure has {st.n} blocks but placement asked for {num_blocks}"
+            )
+        alive = self._require(cluster, num_blocks)
+        ranked = sorted(
+            alive, key=lambda sid: (-cluster.server(sid).performance(self.metric), sid)
+        )[:num_blocks]
+        # Seats: each repair group's member slots, plus ungrouped slots.
+        groups = [st.group_members(j) for j in range(st.num_repair_groups)]
+        ungrouped = [b for b in range(st.n) if st.group_of(b) is None]
+        assignment: dict[int, int] = {}
+        # Snake-deal the fastest servers across groups, filling each
+        # group's data members before its parity slot.
+        seats: list[list[int]] = [list(g) for g in groups]
+        order = list(range(len(seats)))
+        idx = 0
+        direction = 1
+        for sid in ranked:
+            if not any(seats):
+                break
+            # Find the next group (snake order) with a free seat.
+            for _ in range(len(seats) + 1):
+                if seats and 0 <= idx < len(seats) and seats[idx]:
+                    break
+                idx += direction
+                if idx >= len(seats):
+                    idx, direction = len(seats) - 1, -1
+                elif idx < 0:
+                    idx, direction = 0, 1
+            else:
+                break
+            if not seats[idx]:
+                # All groups full; remaining servers go to ungrouped seats.
+                break
+            assignment[seats[idx].pop(0)] = sid
+            idx += direction
+            if idx >= len(seats):
+                idx, direction = len(seats) - 1, -1
+            elif idx < 0:
+                idx, direction = 0, 1
+        remaining = [sid for sid in ranked if sid not in assignment.values()]
+        for b in ungrouped + [b for g in seats for b in g]:
+            if b not in assignment:
+                assignment[b] = remaining.pop(0)
+        del order
+        return [assignment[b] for b in range(st.n)]
+
+
+class RackAwarePlacement(PlacementPolicy):
+    """Co-locate each repair group in one rack; spread groups over racks.
+
+    The standard deployment guidance for locally repairable codes: a
+    group-local repair then never crosses the rack aggregation switch
+    (all its helpers share the failed block's rack... more precisely the
+    group's rack), while distinct groups — which only interact during
+    rare multi-failure decodes — live in different racks, preserving
+    rack-level failure tolerance for the common single-group loss.
+
+    Global parity blocks (and the GP group under all-symbol locality) go
+    to yet another rack when one is available.
+    """
+
+    def __init__(self, structure, spread_groups: bool = True):
+        self.structure = structure
+        self.spread_groups = spread_groups
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        st = self.structure
+        if num_blocks != st.n:
+            raise PlacementError(
+                f"structure has {st.n} blocks but placement asked for {num_blocks}"
+            )
+        racks = cluster.racks()
+        rack_ids = sorted(racks, key=lambda r: -len(racks[r]))
+        groups = [st.group_members(j) for j in range(st.num_repair_groups)]
+        ungrouped = [b for b in range(st.n) if st.group_of(b) is None]
+        units: list[list[int]] = groups + ([ungrouped] if ungrouped else [])
+
+        assignment: dict[int, int] = {}
+        used: set[int] = set()
+        for i, unit in enumerate(units):
+            rack = rack_ids[i % len(rack_ids)] if self.spread_groups else rack_ids[0]
+            # Find a rack (starting from the preferred one) with room.
+            placed = False
+            for attempt in range(len(rack_ids)):
+                candidate = rack_ids[(i + attempt) % len(rack_ids)]
+                free = [s for s in racks[candidate] if s not in used]
+                if len(free) >= len(unit):
+                    for b, sid in zip(unit, free):
+                        assignment[b] = sid
+                        used.add(sid)
+                    placed = True
+                    break
+            if not placed:
+                raise PlacementError(
+                    f"no rack has {len(unit)} free servers for repair group {i}"
+                )
+            del rack
+        return [assignment[b] for b in range(st.n)]
+
+
+class PerformanceAwarePlacement(PlacementPolicy):
+    """Fast servers first — matched to weight-sorted blocks.
+
+    Galloper weight assignment gives heavier blocks to faster servers;
+    this policy returns alive servers sorted by descending performance so
+    that block ``i``'s weight is computed from the server that will
+    actually store it.  The paper additionally suggests placing global
+    parity blocks on the *slowest* servers (Sec. VII-A): pass
+    ``parity_last=True`` and the caller's block order (data/local first,
+    global parity last) lines up with the speed ranking.
+    """
+
+    def __init__(self, metric: str = "cpu_speed", parity_last: bool = True):
+        self.metric = metric
+        self.parity_last = parity_last
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        alive = self._require(cluster, num_blocks)
+        ranked = sorted(
+            alive,
+            key=lambda sid: (-cluster.server(sid).performance(self.metric), sid),
+        )
+        return ranked[:num_blocks]

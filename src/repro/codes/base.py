@@ -1,0 +1,384 @@
+"""Common interface for every erasure code in the reproduction.
+
+All codes — Reed-Solomon, Pyramid, Carousel, Galloper, replication and the
+rotated-RAID baseline — are *stripe-level linear codes*: a code over
+``n`` blocks of ``N`` stripes each is fully described by an
+``(n*N, k*N)`` generator matrix over GF(2^q) together with a layout that
+says which stripes hold original data.  The base class implements
+encoding, decoding from arbitrary availability, block reconstruction and
+cost accounting generically from that description; subclasses supply the
+generator, the layout, and code-specific repair plans (this is where the
+locality of Pyramid/Galloper codes lives).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gf import (
+    GF,
+    GF256,
+    express_rows,
+    mat_data_product,
+    rank,
+    select_independent_rows,
+)
+from repro.gf.matrix import SingularMatrixError
+
+
+class CodeError(Exception):
+    """Base error for erasure-code operations."""
+
+
+class DecodingError(CodeError):
+    """Raised when the available blocks cannot recover the requested data."""
+
+
+class ParameterError(CodeError):
+    """Raised for invalid code parameters."""
+
+
+#: Block roles used throughout the library.
+ROLE_DATA = "data"
+ROLE_LOCAL_PARITY = "local_parity"
+ROLE_GLOBAL_PARITY = "global_parity"
+ROLE_REPLICA = "replica"
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Static description of one coded block.
+
+    Attributes:
+        index: position of the block within the codeword (0-based).
+        role: one of the ``ROLE_*`` constants.  For Galloper codes the role
+            names the block's *structural* role inherited from the source
+            Pyramid code — every block may still carry original data.
+        group: local-repair group id for data / local-parity blocks, or
+            ``None`` for global parities and ungrouped codes.
+        data_stripes: number of stripes of original data stored at the top
+            of the block.
+        total_stripes: total stripes per block (the code's N).
+        file_stripes: for each of the block's data stripes (top-down), the
+            index of the file stripe it stores verbatim.  Contiguous for
+            Galloper/Pyramid layouts; scattered for the rotated-RAID
+            baseline.
+    """
+
+    index: int
+    role: str
+    group: int | None
+    data_stripes: int
+    total_stripes: int
+    file_stripes: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if len(self.file_stripes) != self.data_stripes:
+            raise ParameterError(
+                f"block {self.index}: {self.data_stripes} data stripes but "
+                f"{len(self.file_stripes)} file positions"
+            )
+
+    @property
+    def data_fraction(self) -> float:
+        """Fraction of the block occupied by original data (the weight w_i)."""
+        return self.data_stripes / self.total_stripes
+
+    @property
+    def file_offset(self) -> int | None:
+        """First file-stripe index, or None when the block holds no data."""
+        return self.file_stripes[0] if self.file_stripes else None
+
+    @property
+    def contiguous(self) -> bool:
+        """True when the block's data maps to one contiguous file extent."""
+        fs = self.file_stripes
+        return all(fs[i + 1] == fs[i] + 1 for i in range(len(fs) - 1))
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """How one missing block is reconstructed.
+
+    Attributes:
+        target: index of the block being rebuilt.
+        helpers: blocks that must be read, in read order.
+        read_fractions: per-helper fraction of the block read from disk
+            (1.0 = the whole block, which is what all codes in this paper
+            do; regenerating codes would use fractions < 1).
+    """
+
+    target: int
+    helpers: tuple[int, ...]
+    read_fractions: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.read_fractions:
+            object.__setattr__(self, "read_fractions", {h: 1.0 for h in self.helpers})
+
+    @property
+    def blocks_read(self) -> int:
+        """Number of distinct helper blocks touched (servers woken up)."""
+        return len(self.helpers)
+
+    def bytes_read(self, block_size: int) -> int:
+        """Total disk I/O in bytes for a given block size."""
+        return int(sum(self.read_fractions[h] * block_size for h in self.helpers))
+
+
+class ErasureCode(abc.ABC):
+    """A systematic stripe-level linear erasure code.
+
+    Subclasses must populate, in ``__init__``:
+
+    * ``self.gf`` — the arithmetic context,
+    * ``self.k`` — number of original data blocks in the input file,
+    * ``self.n`` — total coded blocks,
+    * ``self.N`` — stripes per block,
+    * ``self.generator`` — ``(n*N, k*N)`` symbol matrix,
+    * ``self.block_infos`` — one :class:`BlockInfo` per block.
+
+    The input file is modelled as ``k*N`` stripes (``k`` blocks' worth of
+    data); :meth:`encode` maps it to ``n`` blocks of ``N`` stripes.
+    """
+
+    name: str = "erasure-code"
+
+    gf: GF
+    k: int
+    n: int
+    N: int
+    generator: np.ndarray
+    block_infos: list[BlockInfo]
+
+    # ------------------------------------------------------------ geometry
+
+    @property
+    def data_stripe_total(self) -> int:
+        """Total original stripes carried by the codeword (always k*N)."""
+        return self.k * self.N
+
+    def block_rows(self, block: int) -> slice:
+        """Row-slice of ``generator`` for one block."""
+        if not 0 <= block < self.n:
+            raise ParameterError(f"block {block} out of range for n={self.n}")
+        return slice(block * self.N, (block + 1) * self.N)
+
+    def rows_for_blocks(self, blocks) -> np.ndarray:
+        """Stack generator rows for a sequence of block ids."""
+        return np.concatenate([self.generator[self.block_rows(b)] for b in blocks], axis=0)
+
+    def storage_overhead(self) -> float:
+        """Raw storage blow-up versus the original data (n/k)."""
+        return self.n / self.k
+
+    def parallelism(self) -> int:
+        """Number of blocks (servers) holding at least one original stripe.
+
+        This is the paper's data-parallelism measure: the map-task fan-out
+        available without extra network transfer (Fig. 2).
+        """
+        return sum(1 for info in self.block_infos if info.data_stripes > 0)
+
+    def data_extent(self, block: int) -> tuple[int, int]:
+        """``(file_offset, stripe_count)`` of the original data in a block.
+
+        This is what the paper's custom Hadoop ``FileInputFormat`` exposes:
+        the boundary between original data and parity data inside a block.
+        """
+        info = self.block_infos[block]
+        if info.data_stripes == 0:
+            return (0, 0)
+        if not info.contiguous:
+            raise CodeError(
+                f"block {block} stores a non-contiguous file extent; use block_infos[...].file_stripes"
+            )
+        return (info.file_offset or 0, info.data_stripes)
+
+    # ------------------------------------------------------------- payloads
+
+    def stripes_from_payload(self, payload) -> np.ndarray:
+        """Shape arbitrary payload symbols into the ``(k*N, S)`` stripe grid.
+
+        The payload length must be divisible by ``k*N`` so that all stripes
+        have equal size (the paper pads files to this boundary before
+        encoding; padding is the caller's responsibility here so that
+        tests stay byte-exact).
+        """
+        arr = np.asarray(payload)
+        if arr.dtype == object:
+            raise CodeError("payload must be a numeric symbol array")
+        flat = arr.reshape(-1).astype(self.gf.dtype)
+        total = self.data_stripe_total
+        if flat.size % total:
+            raise CodeError(
+                f"payload of {flat.size} symbols is not divisible into {total} equal stripes"
+            )
+        return flat.reshape(total, flat.size // total)
+
+    # ------------------------------------------------------------ operations
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode the ``(k*N, S)`` stripe grid into ``(n, N, S)`` blocks."""
+        data = np.asarray(data)
+        if data.ndim == 1:
+            data = self.stripes_from_payload(data)
+        if data.shape[0] != self.data_stripe_total:
+            raise CodeError(
+                f"{self.name}: expected {self.data_stripe_total} data stripes, got {data.shape[0]}"
+            )
+        flat = mat_data_product(self.gf, self.generator, data.astype(self.gf.dtype))
+        return flat.reshape(self.n, self.N, data.shape[1])
+
+    def can_decode(self, available) -> bool:
+        """True when the given block ids suffice to recover all original data."""
+        ids = sorted(set(available))
+        if len(ids) < self.k:
+            return False
+        return rank(self.gf, self.rows_for_blocks(ids)) == self.data_stripe_total
+
+    def decode(self, available: dict[int, np.ndarray]) -> np.ndarray:
+        """Recover the original ``(k*N, S)`` stripe grid from surviving blocks.
+
+        Args:
+            available: mapping of block id to its ``(N, S)`` stripe array.
+
+        Raises:
+            DecodingError: when the blocks do not determine the data.
+        """
+        if not available:
+            raise DecodingError("no blocks available")
+        ids = sorted(available)
+        rows = self.rows_for_blocks(ids)
+        stripes = np.concatenate([np.asarray(available[b]).reshape(self.N, -1) for b in ids], axis=0)
+        # Prefer rows that are pure data stripes: ordering them first keeps
+        # the elimination cheap and the decode systematic where possible.
+        order = np.argsort([0 if self._is_identity_row(rows[i]) else 1 for i in range(rows.shape[0])], kind="stable")
+        rows_ordered = rows[order]
+        try:
+            picked = select_independent_rows(self.gf, rows_ordered, self.data_stripe_total)
+        except SingularMatrixError as exc:
+            raise DecodingError(
+                f"{self.name}: blocks {ids} cannot decode the original data"
+            ) from exc
+        sel = order[picked]
+        from repro.gf import inverse, mat_data_product as _mdp
+
+        inv = inverse(self.gf, rows[sel])
+        return _mdp(self.gf, inv, stripes[sel])
+
+    @staticmethod
+    def _is_identity_row(row: np.ndarray) -> bool:
+        nz = np.nonzero(row)[0]
+        return nz.size == 1 and row[nz[0]] == 1
+
+    def repair_plan(
+        self,
+        target: int,
+        failed: set[int] | frozenset[int] = frozenset(),
+        preference=None,
+    ) -> RepairPlan:
+        """Choose helper blocks for rebuilding ``target``.
+
+        The default plan is Reed-Solomon-like: read any ``k`` surviving
+        blocks whose rows decode everything.  Locally repairable codes
+        override this with group-local plans.
+
+        Args:
+            target: block to rebuild.
+            failed: other blocks known to be unavailable.
+            preference: optional ranking of block ids, most desirable
+                first (e.g. blocks on the fastest disks); where the code
+                has freedom in helper choice it follows this order.
+        """
+        failed = set(failed) | {target}
+        alive = [b for b in range(self.n) if b not in failed]
+        alive = _apply_preference(alive, preference)
+        return self._fallback_plan(target, alive)
+
+    def _fallback_plan(self, target: int, alive: list[int]) -> RepairPlan:
+        """Smallest prefix-greedy helper set able to express the target rows."""
+        target_rows = self.generator[self.block_rows(target)]
+        helpers: list[int] = []
+        for b in alive:
+            helpers.append(b)
+            if len(helpers) < self.k:
+                continue
+            rows = self.rows_for_blocks(helpers)
+            try:
+                express_rows(self.gf, target_rows, rows)
+            except SingularMatrixError:
+                continue
+            return RepairPlan(target=target, helpers=tuple(helpers))
+        raise DecodingError(
+            f"{self.name}: block {target} cannot be reconstructed from blocks {alive}"
+        )
+
+    def reconstruct(
+        self,
+        target: int,
+        available: dict[int, np.ndarray],
+        plan: RepairPlan | None = None,
+    ) -> tuple[np.ndarray, RepairPlan]:
+        """Rebuild a missing block from surviving blocks.
+
+        Returns the ``(N, S)`` stripe array of the rebuilt block together
+        with the plan actually used (for I/O accounting).
+        """
+        if plan is None:
+            failed = {b for b in range(self.n) if b not in available}
+            plan = self.repair_plan(target, failed)
+        missing = [h for h in plan.helpers if h not in available]
+        if missing:
+            raise DecodingError(f"repair plan for block {target} needs unavailable blocks {missing}")
+        helper_rows = self.rows_for_blocks(plan.helpers)
+        target_rows = self.generator[self.block_rows(target)]
+        try:
+            coeffs = express_rows(self.gf, target_rows, helper_rows)
+        except SingularMatrixError as exc:
+            raise DecodingError(
+                f"{self.name}: helpers {plan.helpers} cannot express block {target}"
+            ) from exc
+        stripes = np.concatenate(
+            [np.asarray(available[h]).reshape(self.N, -1) for h in plan.helpers], axis=0
+        )
+        rebuilt = mat_data_product(self.gf, coeffs, stripes)
+        return rebuilt, plan
+
+    # --------------------------------------------------------------- checks
+
+    def verify_systematic(self) -> bool:
+        """True when every advertised data stripe is stored verbatim.
+
+        Checks that the generator rows at data-stripe positions form an
+        identity over the file stripes they claim to hold.
+        """
+        for info in self.block_infos:
+            if info.data_stripes == 0:
+                continue
+            base = info.index * self.N
+            for s, expect_col in enumerate(info.file_stripes):
+                row = self.generator[base + s]
+                nz = np.nonzero(row)[0]
+                if nz.size != 1 or nz[0] != expect_col or row[expect_col] != 1:
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(k={self.k}, n={self.n}, N={self.N})"
+
+
+def _apply_preference(blocks: list[int], preference) -> list[int]:
+    """Stable-reorder ``blocks`` by a desirability ranking (best first)."""
+    if preference is None:
+        return blocks
+    rank = {b: i for i, b in enumerate(preference)}
+    return sorted(blocks, key=lambda b: (rank.get(b, len(rank)), b))
+
+
+def default_field() -> GF:
+    """The library-wide default arithmetic context (GF(2^8), as the paper)."""
+    return GF256

@@ -1,0 +1,120 @@
+"""Stripe selection and layout bookkeeping for the Galloper construction.
+
+The construction (paper Sec. IV-B) chooses ``w_i * N`` stripes from each
+block *sequentially*: start at the first row of the first block, walk down
+choosing rows, and when a block's quota is exhausted continue in the next
+block from the row below the last chosen one, wrapping from the bottom row
+back to the top.  Walking the rows this way guarantees every row position
+is chosen exactly ``k`` times across the blocks (``k/l`` times in step 2's
+per-group pass), which is what makes the chosen stripes a basis.
+
+After the basis change, stripes are rotated within each block so the
+chosen (data) stripes sit at the top — maximizing sequential reads of
+original data (and matching Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import ParameterError
+
+
+class LayoutError(ParameterError):
+    """Raised when a stripe selection is infeasible."""
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Result of the sequential stripe walk.
+
+    Attributes:
+        per_block: for each block, the chosen row positions in selection
+            order (contiguous modulo ``row_limit``).
+        row_limit: number of row positions the walk cycles through.
+        choosers_by_row: for each row position, the blocks that chose it,
+            in walk order.
+    """
+
+    per_block: tuple[tuple[int, ...], ...]
+    row_limit: int
+    choosers_by_row: tuple[tuple[int, ...], ...]
+
+    def ordinal(self, block: int, row: int) -> int:
+        """Position of ``row`` within ``block``'s selection order."""
+        return self.per_block[block].index(row)
+
+
+def sequential_selection(counts, row_limit: int) -> Selection:
+    """Perform the paper's sequential top-to-bottom stripe walk.
+
+    Args:
+        counts: stripes to choose from each block, in block order.
+        row_limit: rows available per block (N in step 1, ``w_g * N`` in
+            step 2's per-group pass).
+
+    Raises:
+        LayoutError: if any count exceeds ``row_limit`` (a block would be
+            asked to donate the same row twice) or the total is not an
+            exact multiple of ``row_limit`` (some row would not be chosen
+            a uniform number of times, breaking the basis argument).
+    """
+    counts = [int(c) for c in counts]
+    if any(c < 0 for c in counts):
+        raise LayoutError("stripe counts must be non-negative")
+    total = sum(counts)
+    if total == 0:
+        return Selection(per_block=tuple(() for _ in counts), row_limit=row_limit, choosers_by_row=())
+    if row_limit <= 0:
+        raise LayoutError("row_limit must be positive when stripes are selected")
+    if any(c > row_limit for c in counts):
+        raise LayoutError(f"a block cannot donate more than {row_limit} stripes, got {max(counts)}")
+    if total % row_limit:
+        raise LayoutError(
+            f"total selected stripes {total} is not a multiple of the row cycle {row_limit}"
+        )
+
+    per_block: list[tuple[int, ...]] = []
+    choosers: list[list[int]] = [[] for _ in range(row_limit)]
+    ptr = 0
+    for block, c in enumerate(counts):
+        rows = tuple((ptr + t) % row_limit for t in range(c))
+        per_block.append(rows)
+        for r in rows:
+            choosers[r].append(block)
+        ptr = (ptr + c) % row_limit
+
+    per_row = total // row_limit
+    if any(len(ch) != per_row for ch in choosers):  # pragma: no cover - guaranteed by the walk
+        raise LayoutError("sequential walk failed to balance rows")
+    return Selection(
+        per_block=tuple(per_block),
+        row_limit=row_limit,
+        choosers_by_row=tuple(tuple(ch) for ch in choosers),
+    )
+
+
+def rotation_permutation(chosen, total_rows: int) -> list[int]:
+    """Within-block permutation placing chosen rows on top.
+
+    Returns ``perm`` with ``perm[old_row] = new_row``: the chosen rows (in
+    selection order) move to rows ``0 .. len(chosen)-1``; the remaining
+    rows follow below in their original order.  This is the paper's
+    "rotate the stripes upwards" step, generalized to a permutation so the
+    step-2 selections (which wrap inside a prefix of the block) are also
+    handled.
+    """
+    chosen = list(chosen)
+    if len(set(chosen)) != len(chosen):
+        raise LayoutError("chosen rows must be distinct")
+    if chosen and (min(chosen) < 0 or max(chosen) >= total_rows):
+        raise LayoutError("chosen row out of range")
+    perm = [-1] * total_rows
+    for new, old in enumerate(chosen):
+        perm[old] = new
+    nxt = len(chosen)
+    for old in range(total_rows):
+        if perm[old] < 0:
+            perm[old] = nxt
+            nxt += 1
+    return perm

@@ -1,0 +1,73 @@
+"""Symbol remapping: the change-of-basis at the heart of Galloper codes.
+
+Paper Sec. III-C / VI: given a stripe-level generator ``Gg`` (the block
+generator expanded by ``N``), pick ``k*N`` stripe rows as a new basis
+``Gg0`` and form ``Gg @ inv(Gg0)``.  The resulting code is *linearly
+equivalent* to the original — every erasure pattern decodable before is
+decodable after, and every locality relation is preserved — but the
+stripes at the chosen rows now store the original data verbatim.
+
+This module implements the remapping literally, exactly as Sec. VI
+describes.  :mod:`repro.core.galloper` uses a structurally equivalent
+per-row-position factorization for speed; the test-suite cross-checks the
+two on small parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf import GF, expand_by_identity, inverse, matmul, take_rows
+from repro.gf.matrix import SingularMatrixError
+
+from repro.codes.base import CodeError
+
+
+class RemappingError(CodeError):
+    """Raised when the chosen stripes do not form a basis."""
+
+
+def expanded_generator(gf: GF, block_generator: np.ndarray, stripes: int) -> np.ndarray:
+    """Expand a block-level generator to stripe level (``G (x) I_N``)."""
+    return expand_by_identity(gf, block_generator, stripes)
+
+
+def change_basis(gf: GF, stripe_generator: np.ndarray, chosen_rows) -> np.ndarray:
+    """Remap the code so the chosen stripe rows become the data stripes.
+
+    Args:
+        gf: arithmetic context.
+        stripe_generator: ``(n*N, k*N)`` stripe-level generator.
+        chosen_rows: ``k*N`` global row indices, in the order the file's
+            stripes should be laid out.
+
+    Returns:
+        The remapped ``(n*N, k*N)`` generator ``G @ inv(G[chosen])``; rows
+        at the chosen indices become identity rows.
+
+    Raises:
+        RemappingError: when the chosen rows are not linearly independent.
+    """
+    chosen = list(chosen_rows)
+    stripe_generator = np.asarray(stripe_generator)
+    if len(chosen) != stripe_generator.shape[1]:
+        raise RemappingError(
+            f"need exactly {stripe_generator.shape[1]} chosen rows, got {len(chosen)}"
+        )
+    basis = take_rows(stripe_generator, chosen)
+    try:
+        basis_inv = inverse(gf, basis)
+    except SingularMatrixError as exc:
+        raise RemappingError("chosen stripes are not linearly independent") from exc
+    return matmul(gf, stripe_generator, basis_inv)
+
+
+def verify_identity_rows(generator: np.ndarray, chosen_rows) -> bool:
+    """Check that each chosen row i is the unit vector e_i (data embedded)."""
+    generator = np.asarray(generator)
+    for col, row_idx in enumerate(chosen_rows):
+        row = generator[row_idx]
+        nz = np.nonzero(row)[0]
+        if nz.size != 1 or nz[0] != col or row[col] != 1:
+            return False
+    return True

@@ -1,0 +1,81 @@
+"""Finite-field (GF(2^q)) arithmetic substrate.
+
+Everything above this package — Reed-Solomon, Pyramid, Carousel and Galloper
+codes — performs its symbol arithmetic through the objects exported here.
+"""
+
+from repro.gf.field import GF, GF256, GF65536, GFError, field_for_code_width
+from repro.gf.matrix import (
+    SingularMatrixError,
+    cauchy,
+    expand_by_identity,
+    identity,
+    inverse,
+    is_invertible,
+    matmul,
+    express_rows,
+    rank,
+    rows_in_rowspace,
+    select_independent_rows,
+    solve,
+    solve_consistent,
+    take_rows,
+    vandermonde,
+)
+from repro.gf.tables import (
+    DEFAULT_PRIMITIVE_POLYS,
+    SUPPORTED_WIDTHS,
+    TableGenerationError,
+    exp_log_tables,
+    full_mul_table,
+    generate_exp_log,
+    inverse_table,
+)
+from repro.gf.vector import (
+    axpy,
+    bytes_to_symbols,
+    dot,
+    mat_data_product,
+    random_symbols,
+    scal,
+    symbols_to_bytes,
+    xor_rows,
+)
+
+__all__ = [
+    "GF",
+    "GF256",
+    "GF65536",
+    "GFError",
+    "field_for_code_width",
+    "SingularMatrixError",
+    "cauchy",
+    "expand_by_identity",
+    "identity",
+    "inverse",
+    "is_invertible",
+    "matmul",
+    "express_rows",
+    "rank",
+    "rows_in_rowspace",
+    "select_independent_rows",
+    "solve",
+    "solve_consistent",
+    "take_rows",
+    "vandermonde",
+    "DEFAULT_PRIMITIVE_POLYS",
+    "SUPPORTED_WIDTHS",
+    "TableGenerationError",
+    "exp_log_tables",
+    "full_mul_table",
+    "generate_exp_log",
+    "inverse_table",
+    "axpy",
+    "bytes_to_symbols",
+    "dot",
+    "mat_data_product",
+    "random_symbols",
+    "scal",
+    "symbols_to_bytes",
+    "xor_rows",
+]

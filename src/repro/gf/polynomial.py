@@ -1,0 +1,104 @@
+"""Polynomials over GF(2^q).
+
+Reed-Solomon codes are evaluations of a data polynomial at distinct field
+points; this module provides the polynomial view (evaluation, interpolation,
+arithmetic) used by the Reed-Solomon implementation's tests and by the
+Lagrange-based decoder cross-check.  Coefficients are stored low-order
+first: ``coeffs[i]`` multiplies ``x**i``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.gf.field import GF, GFError
+
+
+def normalize(coeffs: Sequence[int]) -> list[int]:
+    """Strip trailing (high-order) zero coefficients; zero poly is ``[]``."""
+    out = list(coeffs)
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def degree(coeffs: Sequence[int]) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    return len(normalize(coeffs)) - 1
+
+
+def add(gf: GF, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Sum of two polynomials (XOR of aligned coefficients)."""
+    n = max(len(a), len(b))
+    out = [0] * n
+    for i, c in enumerate(a):
+        out[i] ^= gf.check(c)
+    for i, c in enumerate(b):
+        out[i] ^= gf.check(c)
+    return normalize(out)
+
+
+def mul(gf: GF, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Product of two polynomials."""
+    a = normalize(a)
+    b = normalize(b)
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if not ca:
+            continue
+        for j, cb in enumerate(b):
+            if cb:
+                out[i + j] ^= gf.mul(ca, cb)
+    return normalize(out)
+
+
+def scale(gf: GF, a: Sequence[int], c: int) -> list[int]:
+    """Multiply a polynomial by the scalar ``c``."""
+    return normalize([gf.mul(coef, c) for coef in a])
+
+
+def evaluate(gf: GF, coeffs: Sequence[int], x: int) -> int:
+    """Evaluate at ``x`` using Horner's rule."""
+    gf.check(x)
+    acc = 0
+    for c in reversed(normalize(coeffs)):
+        acc = gf.mul(acc, x) ^ c
+    return acc
+
+
+def evaluate_many(gf: GF, coeffs: Sequence[int], xs: Sequence[int]) -> np.ndarray:
+    """Evaluate at a sequence of points; returns a symbol array."""
+    return np.array([evaluate(gf, coeffs, x) for x in xs], dtype=gf.dtype)
+
+
+def lagrange_interpolate(gf: GF, xs: Sequence[int], ys: Sequence[int]) -> list[int]:
+    """Unique polynomial of degree < len(xs) through the given points.
+
+    This is the polynomial-view Reed-Solomon decoder: k evaluations at
+    distinct points determine the degree-(k-1) data polynomial.
+    """
+    if len(xs) != len(ys):
+        raise GFError("interpolation needs matching point/value counts")
+    if len(set(xs)) != len(xs):
+        raise GFError("interpolation points must be distinct")
+    result: list[int] = []
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        gf.check(xi)
+        gf.check(yi)
+        if yi == 0:
+            continue
+        # Build the Lagrange basis polynomial l_i and scale it by y_i.
+        numer = [1]
+        denom = 1
+        for j, xj in enumerate(xs):
+            if j == i:
+                continue
+            numer = mul(gf, numer, [xj, 1])  # (x + x_j) == (x - x_j) in char 2
+            denom = gf.mul(denom, xi ^ xj)
+        term = scale(gf, numer, gf.div(yi, denom))
+        result = add(gf, result, term)
+    return result

@@ -1,0 +1,137 @@
+"""Table generation for binary extension fields GF(2^q).
+
+The reproduction performs all coding arithmetic on GF(2^q) with q = 8 by
+default (one symbol per byte), exactly as the paper's C++/ISA-L
+implementation does.  This module builds the discrete log / antilog tables
+used by :mod:`repro.gf.field` and, for q = 8, a full 256x256 multiplication
+table that makes numpy's fancy indexing the inner loop of every coding
+kernel.
+
+The default primitive polynomials match the ones used by ISA-L and most
+storage systems:
+
+* q = 8  -> x^8 + x^4 + x^3 + x^2 + 1      (0x11d)
+* q = 16 -> x^16 + x^12 + x^3 + x + 1      (0x1100b)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Default primitive polynomials (with the leading bit included) keyed by q.
+DEFAULT_PRIMITIVE_POLYS: dict[int, int] = {
+    2: 0x7,
+    4: 0x13,
+    8: 0x11D,
+    16: 0x1100B,
+}
+
+#: Field sizes for which tables may be generated.
+SUPPORTED_WIDTHS = tuple(sorted(DEFAULT_PRIMITIVE_POLYS))
+
+
+class TableGenerationError(ValueError):
+    """Raised when GF tables cannot be generated for the requested field."""
+
+
+def _dtype_for(q: int) -> np.dtype:
+    """Smallest unsigned numpy dtype able to hold a GF(2^q) symbol."""
+    if q <= 8:
+        return np.dtype(np.uint8)
+    if q <= 16:
+        return np.dtype(np.uint16)
+    raise TableGenerationError(f"GF(2^{q}) symbols wider than 16 bits are not supported")
+
+
+def generate_exp_log(q: int, primitive_poly: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Generate antilog (``exp``) and log tables for GF(2^q).
+
+    ``exp`` has length ``2 * (2^q - 1)`` so that ``exp[log[a] + log[b]]``
+    never needs a modulo reduction.  ``log[0]`` is left as ``0`` and must
+    never be consulted; callers are responsible for handling zeros.
+
+    Raises:
+        TableGenerationError: if the polynomial is not primitive for the
+            field (the generated cycle does not visit every nonzero symbol).
+    """
+    if primitive_poly is None:
+        try:
+            primitive_poly = DEFAULT_PRIMITIVE_POLYS[q]
+        except KeyError:
+            raise TableGenerationError(
+                f"no default primitive polynomial for GF(2^{q}); supply one explicitly"
+            ) from None
+    size = 1 << q
+    order = size - 1
+    dtype = _dtype_for(q)
+
+    exp = np.zeros(2 * order, dtype=dtype)
+    log = np.zeros(size, dtype=np.int64)
+
+    x = 1
+    for i in range(order):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & size:
+            x ^= primitive_poly
+    if x != 1:
+        raise TableGenerationError(
+            f"polynomial {primitive_poly:#x} is not primitive over GF(2^{q})"
+        )
+    exp[order : 2 * order] = exp[:order]
+    return exp, log
+
+
+@lru_cache(maxsize=8)
+def _cached_tables(q: int, primitive_poly: int) -> tuple[np.ndarray, np.ndarray]:
+    exp, log = generate_exp_log(q, primitive_poly)
+    exp.setflags(write=False)
+    log.setflags(write=False)
+    return exp, log
+
+
+def exp_log_tables(q: int, primitive_poly: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Return cached, read-only ``(exp, log)`` tables for GF(2^q)."""
+    if primitive_poly is None:
+        try:
+            primitive_poly = DEFAULT_PRIMITIVE_POLYS[q]
+        except KeyError:
+            raise TableGenerationError(
+                f"no default primitive polynomial for GF(2^{q}); supply one explicitly"
+            ) from None
+    return _cached_tables(q, primitive_poly)
+
+
+@lru_cache(maxsize=4)
+def full_mul_table(q: int = 8, primitive_poly: int | None = None) -> np.ndarray:
+    """Full ``(2^q, 2^q)`` multiplication table.
+
+    Only sensible for small q (the q = 8 table is 64 KiB); requesting it for
+    q > 8 raises.  ``table[a, b] == a * b`` in the field.
+    """
+    if q > 8:
+        raise TableGenerationError(f"a full multiplication table for GF(2^{q}) would be too large")
+    exp, log = exp_log_tables(q, primitive_poly)
+    size = 1 << q
+    a = np.arange(size)
+    # Outer sum of logs, looked up through exp; zero rows/cols patched after.
+    table = exp[log[a][:, None] + log[a][None, :]].astype(_dtype_for(q))
+    table[0, :] = 0
+    table[:, 0] = 0
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=8)
+def inverse_table(q: int, primitive_poly: int | None = None) -> np.ndarray:
+    """Multiplicative-inverse lookup table; entry 0 is 0 and must not be used."""
+    exp, log = exp_log_tables(q, primitive_poly)
+    order = (1 << q) - 1
+    inv = np.zeros(1 << q, dtype=_dtype_for(q))
+    nz = np.arange(1, 1 << q)
+    inv[nz] = exp[(order - log[nz]) % order]
+    inv.setflags(write=False)
+    return inv

@@ -1,0 +1,33 @@
+"""MapReduce runtime over encoded files (the Hadoop-prototype analog)."""
+
+from repro.mapreduce.inputformat import DataBlockInputFormat, GalloperInputFormat, InputFormat, InputSplit
+from repro.mapreduce.job import JobResult, JobSpec, TaskRecord
+from repro.mapreduce.records import (
+    FixedLengthRecordReader,
+    LineRecordReader,
+    RecordReader,
+    WholeSplitReader,
+)
+from repro.mapreduce.runtime import CostModel, MapReduceRuntime
+from repro.mapreduce.scheduler import Assignment, LocalityScheduler, ScheduledTask
+from repro.mapreduce import workloads
+
+__all__ = [
+    "DataBlockInputFormat",
+    "GalloperInputFormat",
+    "InputFormat",
+    "InputSplit",
+    "JobResult",
+    "JobSpec",
+    "TaskRecord",
+    "FixedLengthRecordReader",
+    "LineRecordReader",
+    "RecordReader",
+    "WholeSplitReader",
+    "CostModel",
+    "MapReduceRuntime",
+    "Assignment",
+    "LocalityScheduler",
+    "ScheduledTask",
+    "workloads",
+]

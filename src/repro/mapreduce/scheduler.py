@@ -1,0 +1,199 @@
+"""Locality-aware task scheduling.
+
+Map tasks prefer the server storing their split (Hadoop's data-locality
+rule, paper Sec. I).  Each server runs at most ``map_slots`` tasks at a
+time; when a server has free slots and no local work left it may *steal*
+a pending task whose own server is saturated or dead, paying a network
+read for the split — Hadoop's non-local scheduling.  The whole phase runs
+on the deterministic event engine, so identical inputs produce identical
+schedules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cluster.topology import Cluster
+from repro.sim.engine import Simulation
+
+
+@dataclass
+class ScheduledTask:
+    """One schedulable unit of work.
+
+    ``duration_fn(server, local)`` computes the run time on a given server
+    so the scheduler stays agnostic of the cost model.
+    """
+
+    task_id: str
+    preferred_server: int
+    input_bytes: int
+    duration_fn: Callable[[int, bool], float]
+
+
+@dataclass
+class Assignment:
+    task: ScheduledTask
+    server: int
+    start: float
+    finish: float
+    local: bool
+    speculative: bool = False
+
+
+class LocalityScheduler:
+    """Slot-based FIFO scheduler with locality preference and stealing."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        slots_attr: str = "map_slots",
+        allow_remote: bool = True,
+        locality_delay: float = 0.0,
+        speculative: bool = False,
+    ):
+        """Args:
+            sim: event engine the phase runs on.
+            cluster: servers providing slots.
+            slots_attr: which slot count to use ("map_slots"/"reduce_slots").
+            allow_remote: permit non-local execution at all.
+            locality_delay: *delay scheduling* (Zaharia et al. [35]): an
+                idle server holds off stealing a remote task for this many
+                seconds after the phase starts, giving local slots a
+                chance to free up first.  Tasks whose preferred server is
+                dead are exempt — waiting cannot help them.
+            speculative: launch backup copies of straggling tasks on idle
+                servers (Hadoop's speculative execution).  A task
+                completes at its earliest attempt's finish; the duplicate
+                attempt's work is wasted, which the runtime reports.
+        """
+        self.sim = sim
+        self.cluster = cluster
+        self.allow_remote = allow_remote
+        self.locality_delay = locality_delay
+        self.speculative = speculative
+        self._slots = {s.server_id: getattr(s, slots_attr) for s in cluster.alive()}
+        self._pending: list[ScheduledTask] = []
+        self.assignments: list[Assignment] = []
+        self._phase_start = 0.0
+        self._retry_scheduled: set[int] = set()
+        self._attempts: dict[str, list[Assignment]] = {}
+
+    def run_phase(self, tasks: list[ScheduledTask]) -> list[Assignment]:
+        """Run all tasks to completion; returns their assignments."""
+        # Large tasks first within each server's queue, like Hadoop's
+        # split-size-descending task ordering.
+        self._pending = sorted(tasks, key=lambda t: -t.input_bytes)
+        self.assignments = []
+        self._attempts = {}
+        self._phase_start = self.sim.now
+        self._retry_scheduled = set()
+        for sid in list(self._slots):
+            self._dispatch(sid)
+        self.sim.run()
+        if self._pending:
+            stranded = [t.task_id for t in self._pending]
+            raise RuntimeError(f"tasks could not be scheduled: {stranded}")
+        return self.assignments
+
+    def effective_assignments(self) -> dict[str, Assignment]:
+        """Winning attempt per task (the earliest finish)."""
+        return {
+            tid: min(attempts, key=lambda a: a.finish)
+            for tid, attempts in self._attempts.items()
+        }
+
+    @property
+    def speculative_copies(self) -> int:
+        """Backup attempts launched (their work is wasted when they lose)."""
+        return sum(len(a) - 1 for a in self._attempts.values())
+
+    # ----------------------------------------------------------- internals
+
+    def _dispatch(self, server_id: int) -> None:
+        while self._slots.get(server_id, 0) > 0:
+            task, local = self._pick(server_id)
+            speculative = False
+            if task is None and self.speculative and not self._pending:
+                task, local = self._pick_speculative(server_id)
+                speculative = task is not None
+            if task is None:
+                self._maybe_schedule_retry(server_id)
+                return
+            if not speculative:
+                self._pending.remove(task)
+            self._slots[server_id] -= 1
+            duration = task.duration_fn(server_id, local)
+            start = self.sim.now
+            assignment = Assignment(
+                task=task,
+                server=server_id,
+                start=start,
+                finish=start + duration,
+                local=local,
+                speculative=speculative,
+            )
+            self.assignments.append(assignment)
+            self._attempts.setdefault(task.task_id, []).append(assignment)
+            self.sim.schedule(
+                duration,
+                lambda sid=server_id: self._complete(sid),
+                name=f"task:{task.task_id}",
+            )
+
+    def _pick_speculative(self, server_id: int) -> tuple[ScheduledTask | None, bool]:
+        """Back up the running task this server could beat by the most."""
+        now = self.sim.now
+        best: Assignment | None = None
+        best_gain = 0.0
+        for tid, attempts in self._attempts.items():
+            if len(attempts) > 1:
+                continue  # one backup max, like Hadoop
+            primary = attempts[0]
+            if primary.finish <= now or primary.server == server_id:
+                continue
+            new_finish = now + primary.task.duration_fn(server_id, False)
+            gain = primary.finish - new_finish
+            if gain > best_gain:
+                best, best_gain = primary, gain
+        if best is None:
+            return None, False
+        return best.task, False
+
+    def _complete(self, server_id: int) -> None:
+        self._slots[server_id] += 1
+        self._dispatch(server_id)
+        # A freed slot may also unblock stealing elsewhere — but stealing
+        # is pull-based, so only this server needs re-dispatching.
+
+    def _pick(self, server_id: int) -> tuple[ScheduledTask | None, bool]:
+        for task in self._pending:
+            if task.preferred_server == server_id:
+                return task, True
+        if not self.allow_remote:
+            return None, False
+        waited = self.sim.now - self._phase_start
+        for task in self._pending:
+            owner = task.preferred_server
+            owner_dead = owner not in self._slots or self.cluster.server(owner).failed
+            if owner_dead:
+                return task, False  # waiting cannot make this task local
+            if self._slots.get(owner, 0) == 0 and waited >= self.locality_delay:
+                return task, False
+        return None, False
+
+    def _maybe_schedule_retry(self, server_id: int) -> None:
+        """Re-dispatch once the locality-delay window expires."""
+        if not self.allow_remote or not self._pending:
+            return
+        remaining = self._phase_start + self.locality_delay - self.sim.now
+        if remaining <= 0 or server_id in self._retry_scheduled:
+            return
+        self._retry_scheduled.add(server_id)
+        self.sim.schedule(
+            remaining,
+            lambda sid=server_id: self._dispatch(sid),
+            name=f"locality-delay:{server_id}",
+        )

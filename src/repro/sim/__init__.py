@@ -1,0 +1,6 @@
+"""Deterministic discrete-event simulation engine and resources."""
+
+from repro.sim.engine import Simulation, SimulationError
+from repro.sim.resources import SlotResource, ThroughputResource
+
+__all__ = ["Simulation", "SimulationError", "SlotResource", "ThroughputResource"]

@@ -1,0 +1,30 @@
+"""Distributed storage system: block stores, DFS namespace, repair."""
+
+from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError
+from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSystemError
+from repro.storage.metrics import Counter, MetricsRegistry
+from repro.storage.repair import RepairManager, RepairReport, ServerRepairReport
+from repro.storage.recovery import RecoveryOutcome, simulate_server_recovery
+from repro.storage.scrub import ScrubReport, Scrubber
+from repro.storage.striped import StripedFileMeta, StripedFileSystem, StripedInputFormat
+
+__all__ = [
+    "BlockStore",
+    "BlockUnavailableError",
+    "StorageError",
+    "DistributedFileSystem",
+    "EncodedFile",
+    "FileSystemError",
+    "Counter",
+    "MetricsRegistry",
+    "RepairManager",
+    "RepairReport",
+    "ServerRepairReport",
+    "RecoveryOutcome",
+    "simulate_server_recovery",
+    "ScrubReport",
+    "Scrubber",
+    "StripedFileMeta",
+    "StripedFileSystem",
+    "StripedInputFormat",
+]

@@ -1,0 +1,151 @@
+"""Per-server block storage.
+
+Blocks are stored as ``(N, S)`` symbol arrays keyed by ``(file, block)``.
+Every access checks the owning server's crash state and feeds the metrics
+registry — reads from a failed server raise, which is what forces the
+degraded-read and repair paths above this layer to do their job.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.cluster.topology import Cluster
+from repro.storage.metrics import MetricsRegistry
+
+
+class StorageError(RuntimeError):
+    """Raised on invalid block-store operations."""
+
+
+class BlockUnavailableError(StorageError):
+    """Raised when a block's server is down or the block does not exist."""
+
+
+class BlockStore:
+    """In-memory block store spanning a cluster's servers."""
+
+    def __init__(self, cluster: Cluster, metrics: MetricsRegistry | None = None):
+        self.cluster = cluster
+        self.metrics = metrics or MetricsRegistry()
+        # server_id -> {(file_name, block_id): ndarray(N, S)}
+        self._disks: dict[int, dict[tuple[str, int], np.ndarray]] = {
+            s.server_id: {} for s in cluster
+        }
+        # CRC32 of every stored block, written once at put() time; the
+        # scrubber compares stored data against these to catch silent
+        # corruption (bit rot, torn writes).
+        self._checksums: dict[int, dict[tuple[str, int], int]] = {
+            s.server_id: {} for s in cluster
+        }
+
+    def _disk(self, server_id: int) -> dict:
+        try:
+            return self._disks[server_id]
+        except KeyError:
+            raise StorageError(f"no server {server_id}") from None
+
+    def put(self, server_id: int, file_name: str, block_id: int, payload: np.ndarray) -> None:
+        """Write one block to a server's disk."""
+        if self.cluster.server(server_id).failed:
+            raise BlockUnavailableError(f"server {server_id} is down; cannot write")
+        payload = np.asarray(payload)
+        self._disk(server_id)[(file_name, block_id)] = payload
+        self._checksums[server_id][(file_name, block_id)] = zlib.crc32(payload.tobytes())
+        self.metrics.add("disk_bytes_written", payload.nbytes, server_id)
+        self.metrics.add("blocks_written", 1, server_id)
+
+    def get(self, server_id: int, file_name: str, block_id: int, fraction: float = 1.0) -> np.ndarray:
+        """Read one block (or a leading fraction of it) from a server.
+
+        Raises:
+            BlockUnavailableError: server down or block missing.
+        """
+        if self.cluster.server(server_id).failed:
+            raise BlockUnavailableError(f"server {server_id} is down")
+        disk = self._disk(server_id)
+        key = (file_name, block_id)
+        if key not in disk:
+            raise BlockUnavailableError(f"block {key} not on server {server_id}")
+        block = disk[key]
+        if not 0 < fraction <= 1.0:
+            raise StorageError(f"invalid read fraction {fraction}")
+        nrows = max(1, round(block.shape[0] * fraction)) if block.ndim == 2 else block.shape[0]
+        view = block[:nrows] if fraction < 1.0 else block
+        self.metrics.add("disk_bytes_read", view.nbytes, server_id)
+        self.metrics.add("blocks_read", 1, server_id)
+        return block  # full content returned; accounting reflects the fraction
+
+    def read_rows(self, server_id: int, file_name: str, block_id: int, start: int, count: int) -> np.ndarray:
+        """Read ``count`` stripes starting at ``start`` from one block."""
+        if self.cluster.server(server_id).failed:
+            raise BlockUnavailableError(f"server {server_id} is down")
+        disk = self._disk(server_id)
+        key = (file_name, block_id)
+        if key not in disk:
+            raise BlockUnavailableError(f"block {key} not on server {server_id}")
+        block = disk[key]
+        if start < 0 or start + count > block.shape[0]:
+            raise StorageError(f"stripe range [{start}, {start+count}) outside block of {block.shape[0]}")
+        view = block[start : start + count]
+        self.metrics.add("disk_bytes_read", view.nbytes, server_id)
+        self.metrics.add("blocks_read", 1 if count else 0, server_id)
+        return view
+
+    def verify(self, server_id: int, file_name: str, block_id: int) -> bool:
+        """Check a stored block against its write-time checksum.
+
+        Returns False on mismatch (silent corruption).  Raises
+        :class:`BlockUnavailableError` when the block cannot be read at
+        all.  The scan is charged to disk-read accounting, as a real
+        scrubber's would be.
+        """
+        if self.cluster.server(server_id).failed:
+            raise BlockUnavailableError(f"server {server_id} is down")
+        disk = self._disk(server_id)
+        key = (file_name, block_id)
+        if key not in disk:
+            raise BlockUnavailableError(f"block {key} not on server {server_id}")
+        block = disk[key]
+        self.metrics.add("disk_bytes_read", block.nbytes, server_id)
+        self.metrics.add("scrub_bytes", block.nbytes, server_id)
+        return zlib.crc32(block.tobytes()) == self._checksums[server_id][key]
+
+    def corrupt(self, server_id: int, file_name: str, block_id: int, offset: int = 0) -> None:
+        """Flip one byte of a stored block *without* updating the checksum.
+
+        Failure-injection hook for tests and examples: models bit rot.
+        """
+        disk = self._disk(server_id)
+        key = (file_name, block_id)
+        if key not in disk:
+            raise StorageError(f"cannot corrupt missing block {key}")
+        block = disk[key].copy()
+        flat = block.reshape(-1)
+        flat[offset % flat.size] ^= 0xFF
+        disk[key] = block
+
+    def drop(self, server_id: int, file_name: str, block_id: int) -> None:
+        """Remove a block (post-repair cleanup or deliberate loss)."""
+        self._disk(server_id).pop((file_name, block_id), None)
+        self._checksums[server_id].pop((file_name, block_id), None)
+
+    def drop_server(self, server_id: int) -> int:
+        """Wipe a server's disk (permanent failure); returns blocks lost."""
+        disk = self._disk(server_id)
+        lost = len(disk)
+        disk.clear()
+        self._checksums[server_id].clear()
+        return lost
+
+    def blocks_on(self, server_id: int) -> list[tuple[str, int]]:
+        """Keys of all blocks on one server."""
+        return sorted(self._disk(server_id).keys())
+
+    def holds(self, server_id: int, file_name: str, block_id: int) -> bool:
+        return (file_name, block_id) in self._disk(server_id)
+
+    def used_bytes(self, server_id: int) -> int:
+        return sum(v.nbytes for v in self._disk(server_id).values())

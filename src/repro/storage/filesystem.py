@@ -1,0 +1,337 @@
+"""A DFS-like namespace over encoded blocks (the HDFS analog).
+
+``write_file`` encodes a payload with any :class:`~repro.codes.base.ErasureCode`
+and spreads the blocks over distinct servers; ``read_file`` reassembles
+the payload, transparently falling back to decoding when servers are down
+(a *degraded read*).  ``read_stripes`` / ``read_bytes`` serve arbitrary
+extents of the original file — this is the primitive the MapReduce input
+formats are built on, equivalent to the paper's custom ``FileInputFormat``
+that knows the boundary between original and parity data in each block.
+
+When a file is written with a Galloper code and no explicit weights, the
+filesystem closes the loop the paper describes: it asks the placement
+policy for servers first, reads their performance, runs the weight
+assignment for exactly those servers, and only then constructs the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
+from repro.cluster.topology import Cluster
+from repro.codes.base import ErasureCode
+from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError
+from repro.storage.metrics import MetricsRegistry
+
+
+class FileSystemError(StorageError):
+    """Raised on namespace-level failures."""
+
+
+@dataclass
+class EncodedFile:
+    """Metadata of one stored file.
+
+    Attributes:
+        name: namespace key.
+        code: the erasure code instance that produced the blocks.
+        placement: ``block id -> server id``.
+        stripe_size: symbols per stripe.
+        original_size: unpadded payload length in symbols (= bytes for
+            GF(2^8)).
+    """
+
+    name: str
+    code: ErasureCode
+    placement: dict[int, int]
+    stripe_size: int
+    original_size: int
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def block_size(self) -> int:
+        """Stored size of each block, in symbols."""
+        return self.code.N * self.stripe_size
+
+    @property
+    def padded_size(self) -> int:
+        return self.code.data_stripe_total * self.stripe_size
+
+    def server_of(self, block_id: int) -> int:
+        return self.placement[block_id]
+
+    def blocks_on_server(self, server_id: int) -> list[int]:
+        return [b for b, s in self.placement.items() if s == server_id]
+
+    def stripe_holder(self, file_stripe: int) -> tuple[int, int] | None:
+        """``(block, row)`` storing a file stripe verbatim, else ``None``."""
+        for info in self.code.block_infos:
+            for row, fs in enumerate(info.file_stripes):
+                if fs == file_stripe:
+                    return (info.index, row)
+        return None
+
+
+class DistributedFileSystem:
+    """Files encoded over a cluster's block stores."""
+
+    def __init__(self, cluster: Cluster, metrics: MetricsRegistry | None = None):
+        self.cluster = cluster
+        self.metrics = metrics or MetricsRegistry()
+        self.store = BlockStore(cluster, self.metrics)
+        self.files: dict[str, EncodedFile] = {}
+        # Cache of (file stripe -> (block, row)) maps, built lazily.
+        self._stripe_maps: dict[str, dict[int, tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------ write path
+
+    def write_file(
+        self,
+        name: str,
+        payload,
+        code: ErasureCode | None = None,
+        code_factory=None,
+        placement: PlacementPolicy | None = None,
+        performance_metric: str = "cpu_speed",
+    ) -> EncodedFile:
+        """Encode and store a file.
+
+        Either pass a ready ``code``, or a ``code_factory`` called as
+        ``code_factory(performances)`` with the performance vector of the
+        servers chosen by the placement policy — the hook Galloper codes
+        use to match weights to servers.
+        """
+        if name in self.files:
+            raise FileSystemError(f"file {name!r} already exists")
+        if (code is None) == (code_factory is None):
+            raise FileSystemError("pass exactly one of code / code_factory")
+        placement = placement or RoundRobinPlacement()
+
+        if code_factory is not None:
+            # Two-phase: probe how many blocks by building with uniform
+            # performance, then rebuild with the placed servers' metrics.
+            probe = code_factory(None)
+            servers = placement.place(self.cluster, probe.n)
+            perf = self.cluster.performance_vector(servers, performance_metric)
+            code = code_factory(perf)
+        else:
+            servers = placement.place(self.cluster, code.n)
+
+        payload = self._as_symbols(code, payload)
+        original_size = payload.size
+        total = code.data_stripe_total
+        padded = int(np.ceil(original_size / total) * total) if original_size else total
+        if padded != original_size:
+            payload = np.concatenate([payload, np.zeros(padded - original_size, dtype=code.gf.dtype)])
+        grid = payload.reshape(total, padded // total)
+
+        blocks = code.encode(grid)
+        placement_map = {b: servers[b] for b in range(code.n)}
+        for b in range(code.n):
+            self.store.put(servers[b], name, b, blocks[b])
+        ef = EncodedFile(
+            name=name,
+            code=code,
+            placement=placement_map,
+            stripe_size=grid.shape[1],
+            original_size=original_size,
+        )
+        self.files[name] = ef
+        return ef
+
+    def write_virtual_file(
+        self,
+        name: str,
+        size_bytes: int,
+        code: ErasureCode | None = None,
+        code_factory=None,
+        placement: PlacementPolicy | None = None,
+        performance_metric: str = "cpu_speed",
+    ) -> EncodedFile:
+        """Register a file's *metadata* without materializing its bytes.
+
+        Simulated-time experiments (Figs. 9/10 use 450 MB blocks) need the
+        stripe geometry and placement but never read payloads; a virtual
+        file provides exactly that.  Reading a virtual file's content
+        raises :class:`FileSystemError`.
+        """
+        if name in self.files:
+            raise FileSystemError(f"file {name!r} already exists")
+        if (code is None) == (code_factory is None):
+            raise FileSystemError("pass exactly one of code / code_factory")
+        placement = placement or RoundRobinPlacement()
+        if code_factory is not None:
+            probe = code_factory(None)
+            servers = placement.place(self.cluster, probe.n)
+            perf = self.cluster.performance_vector(servers, performance_metric)
+            code = code_factory(perf)
+        else:
+            servers = placement.place(self.cluster, code.n)
+        total = code.data_stripe_total
+        padded = max(total, int(np.ceil(size_bytes / total) * total))
+        ef = EncodedFile(
+            name=name,
+            code=code,
+            placement={b: servers[b] for b in range(code.n)},
+            stripe_size=padded // total,
+            original_size=size_bytes,
+            tags={"virtual": True},
+        )
+        self.files[name] = ef
+        return ef
+
+    @staticmethod
+    def _as_symbols(code: ErasureCode, payload) -> np.ndarray:
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            return np.frombuffer(bytes(payload), dtype=np.uint8).astype(code.gf.dtype)
+        return np.asarray(payload).reshape(-1).astype(code.gf.dtype)
+
+    # ------------------------------------------------------------- read path
+
+    def file(self, name: str) -> EncodedFile:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise FileSystemError(f"no such file {name!r}") from None
+
+    def _stripe_map(self, name: str) -> dict[int, tuple[int, int]]:
+        if name not in self._stripe_maps:
+            ef = self.file(name)
+            mapping: dict[int, tuple[int, int]] = {}
+            for info in ef.code.block_infos:
+                for row, fs in enumerate(info.file_stripes):
+                    mapping[fs] = (info.index, row)
+            self._stripe_maps[name] = mapping
+        return self._stripe_maps[name]
+
+    def read_file(self, name: str) -> bytes:
+        """Read a whole file back, degraded-decoding if servers are down."""
+        ef = self.file(name)
+        grid = self._read_all_stripes(ef)
+        flat = grid.reshape(-1)[: ef.original_size]
+        return flat.astype(np.uint8).tobytes() if ef.code.gf.q == 8 else flat.tobytes()
+
+    def _read_all_stripes(self, ef: EncodedFile) -> np.ndarray:
+        total = ef.code.data_stripe_total
+        mapping = self._stripe_map(ef.name)
+        out = np.zeros((total, ef.stripe_size), dtype=ef.code.gf.dtype)
+        missing: list[int] = []
+        for fs in range(total):
+            holder = mapping.get(fs)
+            if holder is None:
+                missing.append(fs)
+                continue
+            block, row = holder
+            server = ef.server_of(block)
+            try:
+                out[fs] = self.store.read_rows(server, ef.name, block, row, 1)[0]
+            except BlockUnavailableError:
+                missing.append(fs)
+        if missing:
+            decoded = self._degraded_decode(ef)
+            out[missing] = decoded[missing]
+        return out
+
+    def _degraded_decode(self, ef: EncodedFile) -> np.ndarray:
+        """Decode the full stripe grid from a *minimal* set of survivors.
+
+        Reading every surviving block would work but wastes disk I/O;
+        instead blocks are added greedily — data-heavy blocks first —
+        until the subset decodes, and only those are read.
+        """
+        self.metrics.add("degraded_reads", 1)
+        code = ef.code
+        reachable = []
+        for b, server in ef.placement.items():
+            if not self.cluster.server(server).failed and self.store.holds(server, ef.name, b):
+                reachable.append(b)
+        # Prefer blocks carrying the most original data (their rows are
+        # identity rows: cheap to eliminate, and they short-circuit the
+        # rank growth), break ties by index for determinism.
+        reachable.sort(key=lambda b: (-code.block_infos[b].data_stripes, b))
+        chosen: list[int] = []
+        for b in reachable:
+            chosen.append(b)
+            if len(chosen) >= code.k and code.can_decode(chosen):
+                break
+        available = {
+            b: self.store.get(ef.server_of(b), ef.name, b) for b in chosen
+        }
+        return code.decode(available)
+
+    def read_stripes(self, name: str, start: int, count: int) -> np.ndarray:
+        """Read ``count`` file stripes starting at ``start``.
+
+        Stripes stored verbatim on live servers are read directly (grouped
+        into per-block range reads); anything else triggers one degraded
+        decode for the whole file.
+        """
+        ef = self.file(name)
+        total = ef.code.data_stripe_total
+        if start < 0 or start + count > total:
+            raise FileSystemError(f"stripe range [{start}, {start + count}) outside file of {total}")
+        mapping = self._stripe_map(name)
+        out = np.zeros((count, ef.stripe_size), dtype=ef.code.gf.dtype)
+        # Group contiguous (block, row) runs to model sequential reads.
+        runs: list[tuple[int, int, int, int]] = []  # (block, row0, out0, n)
+        missing: list[int] = []
+        for i in range(count):
+            holder = mapping.get(start + i)
+            if holder is None:
+                missing.append(i)
+                continue
+            block, row = holder
+            if runs and runs[-1][0] == block and runs[-1][1] + runs[-1][3] == row and runs[-1][2] + runs[-1][3] == i:
+                runs[-1] = (runs[-1][0], runs[-1][1], runs[-1][2], runs[-1][3] + 1)
+            else:
+                runs.append((block, row, i, 1))
+        decoded: np.ndarray | None = None
+        for block, row0, out0, nrows in runs:
+            server = ef.server_of(block)
+            try:
+                out[out0 : out0 + nrows] = self.store.read_rows(server, name, block, row0, nrows)
+            except BlockUnavailableError:
+                if decoded is None:
+                    decoded = self._degraded_decode(ef)
+                out[out0 : out0 + nrows] = decoded[start + out0 : start + out0 + nrows]
+        if missing:
+            if decoded is None:
+                decoded = self._degraded_decode(ef)
+            for i in missing:
+                out[i] = decoded[start + i]
+        return out
+
+    def read_bytes(self, name: str, offset: int, length: int) -> bytes:
+        """Read an arbitrary byte extent of the original file.
+
+        Reads past the end of the file are truncated, matching POSIX
+        semantics — record readers rely on this when completing a trailing
+        record.
+        """
+        ef = self.file(name)
+        if offset < 0:
+            raise FileSystemError("negative offset")
+        length = max(0, min(length, ef.original_size - offset))
+        if length == 0:
+            return b""
+        first = offset // ef.stripe_size
+        last = (offset + length - 1) // ef.stripe_size
+        stripes = self.read_stripes(name, first, last - first + 1)
+        flat = stripes.reshape(-1)
+        lo = offset - first * ef.stripe_size
+        return flat[lo : lo + length].astype(np.uint8).tobytes()
+
+    # ------------------------------------------------------------ inventory
+
+    def list_files(self) -> list[str]:
+        return sorted(self.files)
+
+    def delete_file(self, name: str) -> None:
+        ef = self.file(name)
+        for b, server in ef.placement.items():
+            self.store.drop(server, name, b)
+        del self.files[name]
+        self._stripe_maps.pop(name, None)

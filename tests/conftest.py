@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF256, GF65536, random_symbols
+
+
+@pytest.fixture
+def gf():
+    """The library's default field, GF(2^8)."""
+    return GF256
+
+
+@pytest.fixture
+def gf16():
+    """The wide field, GF(2^16)."""
+    return GF65536
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0DE)
+
+
+def payload_bytes(size: int, seed: int = 0) -> bytes:
+    """Deterministic pseudo-random byte payload."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture
+def make_payload():
+    return payload_bytes
+
+
+@pytest.fixture
+def make_symbols():
+    def _make(gf, shape, seed=0):
+        return random_symbols(gf, shape, seed=seed)
+
+    return _make

@@ -1,0 +1,58 @@
+"""Tests for the Monte Carlo durability campaign."""
+
+import pytest
+
+from repro.analysis import ReliabilityParameters, mttdl_hours
+from repro.analysis.campaign import simulate_durability
+from repro.codes import PyramidCode, ReedSolomonCode
+from repro.core import GalloperCode
+
+#: Deliberately terrible hardware so losses are observable in few trials.
+FLAKY = ReliabilityParameters(
+    disk_mtbf_hours=100,
+    repair_bandwidth=1 << 20,
+    block_size_bytes=256 << 20,
+)
+
+
+class TestCampaign:
+    def test_deterministic(self):
+        code = ReedSolomonCode(4, 2)
+        a = simulate_durability(code, FLAKY, trials=50, horizon_years=2, seed=9)
+        b = simulate_durability(code, FLAKY, trials=50, horizon_years=2, seed=9)
+        assert a.losses == b.losses
+        assert a.loss_times == b.loss_times
+
+    def test_losses_observed_on_flaky_hardware(self):
+        res = simulate_durability(ReedSolomonCode(4, 2), FLAKY, trials=100, horizon_years=2, seed=1)
+        assert res.losses > 0
+        assert all(0 < t <= res.horizon_hours for t in res.loss_times)
+        assert res.total_repairs > 0
+
+    def test_no_losses_on_solid_hardware(self):
+        solid = ReliabilityParameters(disk_mtbf_hours=1_000_000)
+        res = simulate_durability(PyramidCode(4, 2, 1), solid, trials=30, horizon_years=1, seed=2)
+        assert res.losses == 0
+        assert res.empirical_mttdl_hours == float("inf")
+
+    def test_empirical_matches_analytic_order_of_magnitude(self):
+        code = ReedSolomonCode(4, 2)
+        res = simulate_durability(code, FLAKY, trials=400, horizon_years=3, seed=3)
+        analytic = mttdl_hours(code, FLAKY)
+        assert res.losses >= 5  # enough events to estimate
+        ratio = res.empirical_mttdl_hours / analytic
+        assert 0.2 < ratio < 5.0
+
+    def test_lrc_loses_less_than_rs(self):
+        rs = simulate_durability(ReedSolomonCode(4, 2), FLAKY, trials=300, horizon_years=2, seed=4)
+        lrc = simulate_durability(PyramidCode(4, 2, 1), FLAKY, trials=300, horizon_years=2, seed=4)
+        assert lrc.losses <= rs.losses
+
+    def test_galloper_campaign_runs(self):
+        res = simulate_durability(GalloperCode(4, 2, 1), FLAKY, trials=60, horizon_years=1, seed=5)
+        assert res.trials == 60
+        assert res.loss_probability <= 1.0
+
+    def test_loss_probability(self):
+        res = simulate_durability(ReedSolomonCode(4, 1), FLAKY, trials=50, horizon_years=2, seed=6)
+        assert res.loss_probability == res.losses / 50

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import CLIError, build_parser, code_from_manifest, code_to_manifest, main
+from repro.core import GalloperCode
+
+
+@pytest.fixture
+def payload(tmp_path):
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, size=100_000, dtype=np.uint8).tobytes()
+    src = tmp_path / "input.bin"
+    src.write_bytes(data)
+    return src, data
+
+
+def run(*argv):
+    return main([str(a) for a in argv])
+
+
+class TestManifest:
+    def test_galloper_roundtrip(self):
+        code = GalloperCode(4, 2, 1, performances=[1, 1, 1, 1, 0.4, 0.4, 0.4])
+        manifest = code_to_manifest(code, 1000, 10)
+        rebuilt = code_from_manifest(manifest)
+        assert np.array_equal(rebuilt.generator, code.generator)
+        assert rebuilt.weights == code.weights
+
+    def test_pyramid_roundtrip(self):
+        from repro.codes import PyramidCode
+
+        code = PyramidCode(4, 2, 2, all_symbol=True)
+        rebuilt = code_from_manifest(code_to_manifest(code, 5, 1))
+        assert np.array_equal(rebuilt.generator, code.generator)
+
+    def test_rs_roundtrip(self):
+        from repro.codes import ReedSolomonCode
+
+        code = ReedSolomonCode(6, 3)
+        rebuilt = code_from_manifest(code_to_manifest(code, 5, 1))
+        assert np.array_equal(rebuilt.generator, code.generator)
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(CLIError):
+            code_from_manifest({"code": "mystery"})
+
+
+class TestEncodeDecodeRepair:
+    def test_roundtrip(self, tmp_path, payload):
+        src, data = payload
+        blocks = tmp_path / "blocks"
+        assert run("encode", src, blocks) == 0
+        assert (blocks / "manifest.json").exists()
+        assert len(list(blocks.glob("block_*.bin"))) == 7
+        out = tmp_path / "restored.bin"
+        assert run("decode", blocks, out) == 0
+        assert out.read_bytes() == data
+
+    def test_decode_with_lost_blocks(self, tmp_path, payload):
+        src, data = payload
+        blocks = tmp_path / "blocks"
+        run("encode", src, blocks)
+        (blocks / "block_000.bin").unlink()
+        (blocks / "block_004.bin").unlink()
+        out = tmp_path / "restored.bin"
+        assert run("decode", blocks, out) == 0
+        assert out.read_bytes() == data
+
+    def test_decode_exclude_flag(self, tmp_path, payload):
+        src, data = payload
+        blocks = tmp_path / "blocks"
+        run("encode", src, blocks)
+        out = tmp_path / "restored.bin"
+        assert run("decode", blocks, out, "--exclude", "1,5") == 0
+        assert out.read_bytes() == data
+
+    def test_repair_restores_block_bytes(self, tmp_path, payload):
+        src, data = payload
+        blocks = tmp_path / "blocks"
+        run("encode", src, blocks)
+        original = (blocks / "block_002.bin").read_bytes()
+        (blocks / "block_002.bin").unlink()
+        assert run("repair", blocks, 2) == 0
+        assert (blocks / "block_002.bin").read_bytes() == original
+
+    def test_repair_out_of_range(self, tmp_path, payload):
+        src, _ = payload
+        blocks = tmp_path / "blocks"
+        run("encode", src, blocks)
+        assert run("repair", blocks, 99) == 2
+
+    def test_encode_with_performances(self, tmp_path, payload):
+        src, data = payload
+        blocks = tmp_path / "blocks"
+        assert run("encode", src, blocks, "--performances", "1,1,1,1,0.4,0.4,0.4") == 0
+        manifest = json.loads((blocks / "manifest.json").read_text())
+        assert manifest["weights"][0] != manifest["weights"][4]
+        out = tmp_path / "restored.bin"
+        run("decode", blocks, out)
+        assert out.read_bytes() == data
+
+    def test_encode_rs(self, tmp_path, payload):
+        src, data = payload
+        blocks = tmp_path / "blocks"
+        assert run("encode", src, blocks, "--code", "rs", "--k", "4", "--g", "2") == 0
+        assert len(list(blocks.glob("block_*.bin"))) == 6
+        out = tmp_path / "r.bin"
+        assert run("decode", blocks, out, "--exclude", "0,1") == 0
+        assert out.read_bytes() == data
+
+    def test_missing_input(self, tmp_path):
+        assert run("encode", tmp_path / "ghost.bin", tmp_path / "b") == 2
+
+    def test_missing_manifest(self, tmp_path):
+        assert run("decode", tmp_path, tmp_path / "out.bin") == 2
+
+
+class TestInfoAnalyze:
+    def test_info_runs(self, capsys):
+        assert run("info", "--code", "galloper", "--k", "4", "--l", "2", "--g", "1") == 0
+        out = capsys.readouterr().out
+        assert "data parallelism : 7 / 7" in out
+        assert "repair reads 2" in out
+
+    def test_info_all_symbol(self, capsys):
+        assert run("info", "--code", "galloper", "--k", "4", "--l", "2", "--g", "2", "--all-symbol") == 0
+        out = capsys.readouterr().out
+        assert "9 / 9" in out
+
+    def test_analyze_runs(self, capsys):
+        assert run("analyze", "--code", "pyramid", "--k", "4", "--l", "2", "--g", "1") == 0
+        out = capsys.readouterr().out
+        assert "MTTDL" in out
+        assert "guaranteed tolerance : 2" in out
+
+    def test_bad_performances(self, capsys):
+        assert run("info", "--code", "galloper", "--performances", "a,b") == 2
+
+
+class TestFigures:
+    def test_single_figure(self, capsys):
+        assert run("figures", "--only", "fig2") == 0
+        out = capsys.readouterr().out
+        assert "parallel_servers" in out
+
+    def test_unknown_figure(self):
+        assert run("figures", "--only", "fig99") == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

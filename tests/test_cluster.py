@@ -1,0 +1,134 @@
+"""Tests for the cluster model: servers, topology, placement, failures."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    ClusterError,
+    FailureInjector,
+    PerformanceAwarePlacement,
+    PlacementError,
+    RandomPlacement,
+    RoundRobinPlacement,
+    Server,
+    poisson_failure_trace,
+)
+from repro.sim import Simulation
+
+
+class TestServer:
+    def test_performance_metrics(self):
+        s = Server(0, cpu_speed=0.4, disk_bandwidth=1000, network_bandwidth=2000)
+        assert s.performance("cpu_speed") == 0.4
+        assert s.performance("disk_bandwidth") == 1000
+        assert s.performance("network_bandwidth") == 2000
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            Server(0).performance("quantum_flux")
+
+
+class TestCluster:
+    def test_homogeneous_factory(self):
+        c = Cluster.homogeneous(5, map_slots=4)
+        assert len(c) == 5
+        assert all(s.map_slots == 4 for s in c)
+
+    def test_heterogeneous_factory(self):
+        c = Cluster.heterogeneous([1.0, 0.4, 0.4])
+        assert c.server(1).cpu_speed == 0.4
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster([Server(0), Server(0)])
+
+    def test_fail_recover(self):
+        c = Cluster.homogeneous(3)
+        c.fail(1)
+        assert c.alive_ids() == [0, 2]
+        with pytest.raises(ClusterError):
+            c.fail(1)
+        c.recover(1)
+        assert c.alive_ids() == [0, 1, 2]
+        with pytest.raises(ClusterError):
+            c.recover(1)
+
+    def test_unknown_server(self):
+        with pytest.raises(ClusterError):
+            Cluster.homogeneous(2).server(9)
+
+    def test_performance_vector_order(self):
+        c = Cluster.heterogeneous([1.0, 0.5, 0.25])
+        assert c.performance_vector([2, 0]) == [0.25, 1.0]
+
+    def test_add_server(self):
+        c = Cluster.homogeneous(2)
+        srv = c.add_server(cpu_speed=2.0)
+        assert srv.server_id == 2
+        assert c.server(2).cpu_speed == 2.0
+
+
+class TestPlacement:
+    def test_round_robin(self):
+        c = Cluster.homogeneous(6)
+        assert RoundRobinPlacement().place(c, 4) == [0, 1, 2, 3]
+        assert RoundRobinPlacement(offset=4).place(c, 4) == [4, 5, 0, 1]
+
+    def test_round_robin_skips_failed(self):
+        c = Cluster.homogeneous(6)
+        c.fail(0)
+        assert RoundRobinPlacement().place(c, 3) == [1, 2, 3]
+
+    def test_random_is_seeded(self):
+        c = Cluster.homogeneous(10)
+        a = RandomPlacement(seed=7).place(c, 5)
+        b = RandomPlacement(seed=7).place(c, 5)
+        assert a == b
+        assert len(set(a)) == 5
+
+    def test_performance_aware_orders_by_speed(self):
+        c = Cluster.heterogeneous([0.4, 1.0, 0.4, 2.0, 1.0])
+        placed = PerformanceAwarePlacement().place(c, 3)
+        assert placed == [3, 1, 4]
+
+    def test_not_enough_servers(self):
+        c = Cluster.homogeneous(3)
+        with pytest.raises(PlacementError):
+            RoundRobinPlacement().place(c, 4)
+
+
+class TestFailureInjection:
+    def test_crash_at(self):
+        sim = Simulation()
+        c = Cluster.homogeneous(3)
+        inj = FailureInjector(sim, c)
+        inj.crash_at(5.0, 1)
+        sim.run(until=4.0)
+        assert not c.server(1).failed
+        sim.run()
+        assert c.server(1).failed
+
+    def test_crash_with_recovery(self):
+        sim = Simulation()
+        c = Cluster.homogeneous(3)
+        inj = FailureInjector(sim, c)
+        ev = inj.crash_at(2.0, 0, recover_after=3.0)
+        assert ev.recover_at == 5.0
+        sim.run(until=3.0)
+        assert c.server(0).failed
+        sim.run()
+        assert not c.server(0).failed
+
+    def test_poisson_trace_deterministic(self):
+        a = poisson_failure_trace(range(5), horizon=1000, mtbf=100, seed=3)
+        b = poisson_failure_trace(range(5), horizon=1000, mtbf=100, seed=3)
+        assert a == b
+        assert all(e.time < 1000 for e in a)
+        assert a == sorted(a, key=lambda e: e.time)
+
+    def test_poisson_trace_with_recovery(self):
+        trace = poisson_failure_trace(range(3), horizon=500, mtbf=50, seed=1, mttr=10)
+        assert any(e.recover_at is not None for e in trace)
+        for e in trace:
+            if e.recover_at is not None:
+                assert e.recover_at > e.time

@@ -1,0 +1,162 @@
+"""Integration tests: the full system exercised the way the paper uses it.
+
+Each scenario strings together encode -> place -> fail -> repair/degraded
+read -> MapReduce, asserting byte-exact results throughout.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, PerformanceAwarePlacement
+from repro.codes import PyramidCode, ReedSolomonCode
+from repro.core import GalloperCode
+from repro.mapreduce import (
+    DataBlockInputFormat,
+    GalloperInputFormat,
+    MapReduceRuntime,
+)
+from repro.mapreduce.workloads import (
+    generate_terasort_records,
+    generate_text,
+    terasort_job,
+    terasort_output_records,
+    terasort_reference,
+    wordcount_job,
+    wordcount_reference,
+)
+from repro.storage import DistributedFileSystem, RepairManager
+from tests.conftest import payload_bytes
+
+
+class TestHadoopPrototypeScenario:
+    """The paper's Sec. VII-B experiment, end to end on real bytes."""
+
+    def test_wordcount_pyramid_vs_galloper(self):
+        cluster = Cluster.homogeneous(10)
+        dfs = DistributedFileSystem(cluster)
+        text = generate_text(80_000, seed=11)
+        dfs.write_file("pyr", text, code=PyramidCode(4, 2, 1))
+        dfs.write_file("gall", text, code=GalloperCode(4, 2, 1))
+        rt = MapReduceRuntime(dfs)
+        ref = wordcount_reference(text)
+
+        res_p = rt.run(wordcount_job("pyr"), DataBlockInputFormat())
+        res_g = rt.run(wordcount_job("gall"), GalloperInputFormat())
+        assert res_p.output == ref
+        assert res_g.output == ref
+        # Galloper runs map tasks on all 7 servers, Pyramid on 4.
+        assert len(res_g.map_servers()) == 7
+        assert len(res_p.map_servers()) == 4
+        # With the same total bytes spread wider, the map phase shortens.
+        assert res_g.map_phase_time < res_p.map_phase_time
+
+    def test_terasort_over_galloper(self):
+        cluster = Cluster.homogeneous(10)
+        dfs = DistributedFileSystem(cluster)
+        blob = generate_terasort_records(2000, seed=12)
+        dfs.write_file("tera", blob, code=GalloperCode(4, 2, 1))
+        rt = MapReduceRuntime(dfs)
+        res = rt.run(terasort_job("tera"), GalloperInputFormat())
+        assert terasort_output_records(res.output) == terasort_reference(blob)
+
+
+class TestFailureDuringAnalytics:
+    def test_job_survives_two_failures(self):
+        cluster = Cluster.homogeneous(12)
+        dfs = DistributedFileSystem(cluster)
+        text = generate_text(50_000, seed=13)
+        ef = dfs.write_file("f", text, code=GalloperCode(4, 2, 1))
+        cluster.fail(ef.server_of(1))
+        cluster.fail(ef.server_of(5))
+        rt = MapReduceRuntime(dfs)
+        res = rt.run(wordcount_job("f"), GalloperInputFormat())
+        assert res.output == wordcount_reference(text)
+        # Map tasks for dead servers were stolen by live ones.
+        assert all(not cluster.server(t.server).failed for t in res.tasks)
+
+    def test_repair_then_job(self):
+        cluster = Cluster.homogeneous(12)
+        dfs = DistributedFileSystem(cluster)
+        rm = RepairManager(dfs)
+        text = generate_text(50_000, seed=14)
+        ef = dfs.write_file("f", text, code=GalloperCode(4, 2, 1))
+        victim = ef.server_of(0)
+        cluster.fail(victim)
+        rm.repair_server(victim)
+        res = MapReduceRuntime(dfs).run(wordcount_job("f"), GalloperInputFormat())
+        assert res.output == wordcount_reference(text)
+        # The rebuilt block serves map tasks from its new home.
+        assert ef.server_of(0) != victim
+
+    def test_sequential_failures_up_to_tolerance(self):
+        cluster = Cluster.homogeneous(14)
+        dfs = DistributedFileSystem(cluster)
+        rm = RepairManager(dfs)
+        payload = payload_bytes(28_000, seed=15)
+        ef = dfs.write_file("f", payload, code=GalloperCode(4, 2, 1))
+        # Crash -> repair -> crash -> repair, repeatedly.
+        for round_ in range(4):
+            victim = ef.server_of(round_ % 7)
+            cluster.fail(victim)
+            rm.repair_server(victim)
+            assert dfs.read_file("f") == payload
+
+
+class TestHeterogeneousDeployment:
+    def test_weights_follow_placement(self):
+        cluster = Cluster.heterogeneous([1, 1, 0.4, 1, 0.4, 1, 0.4, 1, 1, 1])
+        dfs = DistributedFileSystem(cluster)
+        text = generate_text(70_000, seed=16)
+        ef = dfs.write_file(
+            "f",
+            text,
+            code_factory=lambda perf: GalloperCode(4, 2, 1, performances=perf),
+            placement=PerformanceAwarePlacement(),
+        )
+        # The fastest servers host the heaviest blocks.
+        weights = ef.code.weights
+        speeds = [cluster.server(ef.server_of(b)).cpu_speed for b in range(7)]
+        for (wa, sa), (wb, sb) in zip(
+            sorted(zip(weights, speeds), key=lambda x: x[1]),
+            sorted(zip(weights, speeds), key=lambda x: x[1])[1:],
+        ):
+            assert wa <= wb or sa == sb
+        res = MapReduceRuntime(dfs).run(wordcount_job("f"), GalloperInputFormat())
+        assert res.output == wordcount_reference(text)
+
+    def test_hetero_weights_beat_uniform_on_makespan(self):
+        speeds = [1.0] * 4 + [0.4] * 3
+        cluster = Cluster.heterogeneous(speeds)
+        dfs = DistributedFileSystem(cluster)
+        dfs.write_virtual_file("uniform", 200 << 20, code=GalloperCode(4, 2, 1))
+        dfs.write_virtual_file(
+            "aware",
+            200 << 20,
+            code_factory=lambda perf: GalloperCode(4, 2, 1, performances=perf),
+        )
+        rt = MapReduceRuntime(dfs, execute=False)
+        uni = rt.run(wordcount_job("uniform"), GalloperInputFormat())
+        aware = rt.run(wordcount_job("aware"), GalloperInputFormat())
+        assert aware.map_phase_time < uni.map_phase_time
+
+
+class TestMixedCodesNamespace:
+    def test_multiple_files_different_codes(self):
+        cluster = Cluster.homogeneous(14)
+        dfs = DistributedFileSystem(cluster)
+        payloads = {}
+        for name, code in (
+            ("rs", ReedSolomonCode(4, 2)),
+            ("pyr", PyramidCode(4, 2, 1)),
+            ("gall", GalloperCode(4, 2, 1)),
+        ):
+            payloads[name] = payload_bytes(10_000, seed=hash(name) % 100)
+            dfs.write_file(name, payloads[name], code=code)
+        for name, payload in payloads.items():
+            assert dfs.read_file(name) == payload
+        # One server failure affects all files; repair_all fixes everything.
+        cluster.fail(0)
+        RepairManager(dfs).repair_all()
+        cluster.recover(0)
+        dfs.store.drop_server(0)
+        for name, payload in payloads.items():
+            assert dfs.read_file(name) == payload

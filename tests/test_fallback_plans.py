@@ -1,0 +1,64 @@
+"""Tests for the greedy fallback repair planner under compound failures."""
+
+import numpy as np
+import pytest
+
+from repro.codes import DecodingError, PyramidCode
+from repro.core import GalloperCode
+from repro.gf import random_symbols
+
+
+class TestGreedyFallback:
+    def test_helper_set_grows_past_k_when_needed(self):
+        """Losing a group peer makes 4 helpers insufficient for block 0:
+        {D3, D4, L1, L2} is rank-deficient (L2 = D3 + D4), so the plan
+        must grow to 5 blocks."""
+        code = PyramidCode(4, 2, 1)
+        plan = code.repair_plan(0, failed={1})
+        assert plan.blocks_read == 5
+        assert 1 not in plan.helpers
+
+    def test_fallback_plan_actually_reconstructs(self):
+        code = PyramidCode(4, 2, 1)
+        data = random_symbols(code.gf, (4, 9), seed=70)
+        blocks = code.encode(data)
+        plan = code.repair_plan(0, failed={1})
+        avail = {b: blocks[b] for b in plan.helpers}
+        rebuilt, _ = code.reconstruct(0, avail, plan)
+        assert np.array_equal(rebuilt, blocks[0])
+
+    def test_galloper_fallback_matches_pyramid_size(self):
+        pyramid = PyramidCode(4, 2, 1)
+        galloper = GalloperCode(4, 2, 1)
+        for failed_peer in (1, 2):
+            p = pyramid.repair_plan(0, failed={failed_peer})
+            g = galloper.repair_plan(0, failed={failed_peer})
+            assert p.blocks_read == g.blocks_read, failed_peer
+
+    def test_beyond_tolerance_plan_fails_cleanly(self):
+        code = PyramidCode(4, 2, 1)
+        # Pattern {0, 1, 6} is not decodable: planning block 0's repair
+        # with {1, 6} already gone must raise, not loop.
+        with pytest.raises(DecodingError):
+            code.repair_plan(0, failed={1, 6})
+
+    def test_reconstruct_rejects_missing_helper(self):
+        code = PyramidCode(4, 2, 1)
+        data = random_symbols(code.gf, (4, 5), seed=71)
+        blocks = code.encode(data)
+        plan = code.repair_plan(0)
+        partial = {h: blocks[h] for h in plan.helpers[:-1]}
+        with pytest.raises(DecodingError):
+            code.reconstruct(0, partial, plan)
+
+    def test_two_group_failures_need_global_help(self):
+        """Both data blocks of group 0 lost: each repair must reach into
+        the other group / global parity."""
+        code = GalloperCode(4, 2, 1)
+        data = random_symbols(code.gf, (code.data_stripe_total, 4), seed=72)
+        blocks = code.encode(data)
+        plan = code.repair_plan(0, failed={1})
+        avail = {b: blocks[b] for b in plan.helpers}
+        rebuilt, _ = code.reconstruct(0, avail, plan)
+        assert np.array_equal(rebuilt, blocks[0])
+        assert any(b >= 3 for b in plan.helpers)

@@ -1,0 +1,150 @@
+"""Tests for GF scalar and array arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.gf import GF, GF256, GF65536, GFError
+
+
+class TestScalarArithmetic:
+    def test_addition_is_xor(self, gf):
+        assert gf.add(0b1010, 0b0110) == 0b1100
+
+    def test_addition_self_inverse(self, gf):
+        for a in [0, 1, 77, 255]:
+            assert gf.add(a, a) == 0
+
+    def test_multiplication_examples(self, gf):
+        # 2 * 2 = 4 (polynomial x * x = x^2, no reduction needed)
+        assert gf.mul(2, 2) == 4
+        # 0x80 * 2 triggers reduction by 0x11d: 0x100 ^ 0x11d = 0x1d
+        assert gf.mul(0x80, 2) == 0x1D
+
+    def test_mul_commutative_sample(self, gf):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(0, 256))
+            assert gf.mul(a, b) == gf.mul(b, a)
+
+    def test_mul_by_zero_and_one(self, gf):
+        for a in [0, 1, 2, 254, 255]:
+            assert gf.mul(a, 0) == 0
+            assert gf.mul(a, 1) == a
+
+    def test_div_inverts_mul(self, gf):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            a, b = int(rng.integers(0, 256)), int(rng.integers(1, 256))
+            assert gf.div(gf.mul(a, b), b) == a
+
+    def test_div_by_zero_raises(self, gf):
+        with pytest.raises(GFError):
+            gf.div(5, 0)
+
+    def test_inv(self, gf):
+        for a in range(1, 256):
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    def test_inv_zero_raises(self, gf):
+        with pytest.raises(GFError):
+            gf.inv(0)
+
+    def test_pow(self, gf):
+        assert gf.pow(2, 0) == 1
+        assert gf.pow(2, 1) == 2
+        assert gf.pow(2, 8) == gf.mul(gf.pow(2, 4), gf.pow(2, 4))
+        # Negative exponents are inverses.
+        assert gf.mul(gf.pow(3, -1), 3) == 1
+
+    def test_pow_zero_base(self, gf):
+        assert gf.pow(0, 0) == 1
+        assert gf.pow(0, 5) == 0
+        with pytest.raises(GFError):
+            gf.pow(0, -1)
+
+    def test_fermat_orderth_power_is_identity(self, gf):
+        for a in [1, 2, 3, 200]:
+            assert gf.pow(a, gf.order) == 1
+
+    def test_out_of_range_symbols_rejected(self, gf):
+        with pytest.raises(GFError):
+            gf.mul(256, 1)
+        with pytest.raises(GFError):
+            gf.add(-1, 0)
+
+    def test_distributivity_sample(self, gf):
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf.mul(a, b ^ c) == gf.mul(a, b) ^ gf.mul(a, c)
+
+    def test_associativity_sample(self, gf):
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, 3))
+            assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+
+class TestWideField:
+    def test_gf16_roundtrip(self, gf16):
+        rng = np.random.default_rng(6)
+        for _ in range(50):
+            a = int(rng.integers(1, 1 << 16))
+            assert gf16.mul(a, gf16.inv(a)) == 1
+
+    def test_gf16_has_no_mul_table(self, gf16):
+        assert gf16.mul_table is None
+
+    def test_equality_and_hash(self):
+        assert GF(8) == GF256
+        assert GF(8) != GF65536
+        assert hash(GF(8)) == hash(GF256)
+
+
+class TestArrayOps:
+    def test_scalar_mul_array_matches_scalar(self, gf):
+        v = np.arange(256, dtype=np.uint8)
+        for c in [0, 1, 2, 77, 255]:
+            out = gf.scalar_mul_array(c, v)
+            for x in [0, 1, 100, 255]:
+                assert out[x] == gf.mul(c, x)
+
+    def test_mul_arrays_elementwise(self, gf):
+        a = np.array([0, 1, 2, 3], dtype=np.uint8)
+        b = np.array([5, 5, 5, 0], dtype=np.uint8)
+        out = gf.mul_arrays(a, b)
+        assert list(out) == [0, 5, gf.mul(2, 5), 0]
+
+    def test_mul_arrays_wide_field(self, gf16):
+        a = np.array([0, 1, 1000, 65535], dtype=np.uint16)
+        b = np.array([77, 77, 0, 2], dtype=np.uint16)
+        out = gf16.mul_arrays(a, b)
+        assert out[0] == 0
+        assert out[1] == 77
+        assert out[2] == 0
+        assert out[3] == gf16.mul(65535, 2)
+
+    def test_asarray_validates(self, gf):
+        with pytest.raises(GFError):
+            gf.asarray([0, 300])
+        arr = gf.asarray([[1, 2], [3, 4]])
+        assert arr.dtype == np.uint8
+
+
+class TestFieldSelection:
+    def test_small_codes_use_gf256(self):
+        from repro.gf import field_for_code_width
+
+        assert field_for_code_width(14) is GF256
+
+    def test_wide_codes_use_gf65536(self):
+        from repro.gf import field_for_code_width
+
+        assert field_for_code_width(300) is GF65536
+
+    def test_too_wide_rejected(self):
+        from repro.gf import field_for_code_width
+        from repro.gf.tables import TableGenerationError
+
+        with pytest.raises(TableGenerationError):
+            field_for_code_width(1 << 17)

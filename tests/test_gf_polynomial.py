@@ -1,0 +1,97 @@
+"""Tests for GF polynomial arithmetic (the Reed-Solomon polynomial view)."""
+
+import pytest
+
+from repro.gf import GF256, GFError
+from repro.gf import polynomial as P
+
+
+@pytest.fixture
+def gf():
+    return GF256
+
+
+class TestBasics:
+    def test_normalize_strips_high_zeros(self):
+        assert P.normalize([1, 2, 0, 0]) == [1, 2]
+        assert P.normalize([0, 0]) == []
+
+    def test_degree(self):
+        assert P.degree([]) == -1
+        assert P.degree([5]) == 0
+        assert P.degree([0, 0, 3]) == 2
+
+    def test_add_is_xor(self, gf):
+        assert P.add(gf, [1, 2], [3]) == [2, 2]
+
+    def test_add_cancels(self, gf):
+        assert P.add(gf, [7, 7], [7, 7]) == []
+
+    def test_mul_by_zero(self, gf):
+        assert P.mul(gf, [1, 2], []) == []
+
+    def test_mul_degree_adds(self, gf):
+        a, b = [1, 1], [1, 0, 1]
+        assert P.degree(P.mul(gf, a, b)) == 3
+
+    def test_scale(self, gf):
+        assert P.scale(gf, [1, 2, 3], 0) == []
+        assert P.scale(gf, [1, 2], 1) == [1, 2]
+
+
+class TestEvaluation:
+    def test_horner_matches_naive(self, gf):
+        coeffs = [7, 13, 200, 5]
+        for x in [0, 1, 2, 55, 255]:
+            naive = 0
+            for i, c in enumerate(coeffs):
+                naive ^= gf.mul(c, gf.pow(x, i))
+            assert P.evaluate(gf, coeffs, x) == naive
+
+    def test_evaluate_at_zero_gives_constant(self, gf):
+        assert P.evaluate(gf, [42, 1, 2], 0) == 42
+
+    def test_evaluate_many(self, gf):
+        coeffs = [3, 1]
+        out = P.evaluate_many(gf, coeffs, [0, 1, 2])
+        assert list(out) == [3, 3 ^ 1, 3 ^ 2]
+
+    def test_mul_evaluation_homomorphism(self, gf):
+        """eval(a*b, x) == eval(a, x) * eval(b, x)."""
+        a, b = [1, 5, 9], [4, 4]
+        for x in [1, 2, 77]:
+            assert P.evaluate(gf, P.mul(gf, a, b), x) == gf.mul(
+                P.evaluate(gf, a, x), P.evaluate(gf, b, x)
+            )
+
+
+class TestInterpolation:
+    def test_roundtrip(self, gf):
+        coeffs = [9, 0, 77, 31]
+        xs = [1, 2, 3, 4]
+        ys = [P.evaluate(gf, coeffs, x) for x in xs]
+        assert P.normalize(P.lagrange_interpolate(gf, xs, ys)) == P.normalize(coeffs)
+
+    def test_is_reed_solomon_decoding(self, gf):
+        """Any k evaluations of a degree-(k-1) polynomial recover it — the
+        polynomial-view statement of the MDS property."""
+        coeffs = [11, 22, 33]
+        xs_all = [1, 2, 3, 4, 5, 6]
+        ys_all = [P.evaluate(gf, coeffs, x) for x in xs_all]
+        from itertools import combinations
+
+        for subset in combinations(range(6), 3):
+            xs = [xs_all[i] for i in subset]
+            ys = [ys_all[i] for i in subset]
+            assert P.normalize(P.lagrange_interpolate(gf, xs, ys)) == coeffs
+
+    def test_duplicate_points_rejected(self, gf):
+        with pytest.raises(GFError):
+            P.lagrange_interpolate(gf, [1, 1], [2, 3])
+
+    def test_length_mismatch_rejected(self, gf):
+        with pytest.raises(GFError):
+            P.lagrange_interpolate(gf, [1, 2], [3])
+
+    def test_zero_polynomial(self, gf):
+        assert P.lagrange_interpolate(gf, [1, 2, 3], [0, 0, 0]) == []

@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the GF substrate.
+
+These pin down the algebraic laws every layer above silently relies on:
+field axioms, matrix inverse round-trips, and the linearity of the coding
+kernel.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import (
+    GF256,
+    inverse,
+    is_invertible,
+    mat_data_product,
+    matmul,
+    rank,
+)
+
+gf = GF256
+symbol = st.integers(min_value=0, max_value=255)
+nonzero_symbol = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(symbol, symbol)
+    def test_mul_commutative(self, a, b):
+        assert gf.mul(a, b) == gf.mul(b, a)
+
+    @given(symbol, symbol, symbol)
+    def test_mul_associative(self, a, b, c):
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+    @given(symbol, symbol, symbol)
+    def test_distributive(self, a, b, c):
+        assert gf.mul(a, b ^ c) == gf.mul(a, b) ^ gf.mul(a, c)
+
+    @given(nonzero_symbol)
+    def test_inverse_law(self, a):
+        assert gf.mul(a, gf.inv(a)) == 1
+
+    @given(nonzero_symbol, symbol)
+    def test_div_mul_roundtrip(self, b, a):
+        assert gf.mul(gf.div(a, b), b) == a
+
+    @given(symbol, st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5))
+    def test_pow_adds_exponents(self, a, m, n):
+        assert gf.mul(gf.pow(a, m), gf.pow(a, n)) == gf.pow(a, m + n)
+
+
+def matrices(n_min=1, n_max=6):
+    return st.integers(min_value=n_min, max_value=n_max).flatmap(
+        lambda n: st.lists(
+            st.lists(symbol, min_size=n, max_size=n), min_size=n, max_size=n
+        ).map(lambda rows: np.array(rows, dtype=np.uint8))
+    )
+
+
+class TestMatrixProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(matrices())
+    def test_inverse_roundtrip_or_singular(self, m):
+        n = m.shape[0]
+        if is_invertible(gf, m):
+            inv = inverse(gf, m)
+            assert np.array_equal(matmul(gf, m, inv), np.eye(n, dtype=np.uint8))
+        else:
+            assert rank(gf, m) < n
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices(), st.integers(min_value=1, max_value=8))
+    def test_kernel_linearity(self, m, cols):
+        rng = np.random.default_rng(int(m.sum()) + cols)
+        n = m.shape[0]
+        a = rng.integers(0, 256, size=(n, cols)).astype(np.uint8)
+        b = rng.integers(0, 256, size=(n, cols)).astype(np.uint8)
+        lhs = mat_data_product(gf, m, a ^ b)
+        rhs = mat_data_product(gf, m, a) ^ mat_data_product(gf, m, b)
+        assert np.array_equal(lhs, rhs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(matrices())
+    def test_rank_invariant_under_row_shuffle(self, m):
+        rng = np.random.default_rng(int(m.sum()))
+        perm = rng.permutation(m.shape[0])
+        assert rank(gf, m) == rank(gf, m[perm])
+
+    @settings(max_examples=20, deadline=None)
+    @given(matrices(n_min=2, n_max=5))
+    def test_product_rank_bounded(self, m):
+        other = np.eye(m.shape[0], dtype=np.uint8)
+        prod = matmul(gf, m, other)
+        assert rank(gf, prod) <= min(rank(gf, m), m.shape[0])

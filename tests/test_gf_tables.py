@@ -1,0 +1,89 @@
+"""Tests for GF table generation."""
+
+import numpy as np
+import pytest
+
+from repro.gf import tables
+
+
+class TestExpLog:
+    @pytest.mark.parametrize("q", tables.SUPPORTED_WIDTHS)
+    def test_exp_cycle_visits_every_nonzero(self, q):
+        exp, log = tables.generate_exp_log(q)
+        order = (1 << q) - 1
+        assert sorted(set(int(x) for x in exp[:order])) == list(range(1, 1 << q))
+
+    @pytest.mark.parametrize("q", tables.SUPPORTED_WIDTHS)
+    def test_log_inverts_exp(self, q):
+        exp, log = tables.generate_exp_log(q)
+        order = (1 << q) - 1
+        for i in range(order):
+            assert log[int(exp[i])] == i
+
+    def test_exp_table_doubled_for_overflow_free_lookup(self):
+        exp, _ = tables.generate_exp_log(8)
+        assert len(exp) == 2 * 255
+        assert np.array_equal(exp[:255], exp[255:])
+
+    def test_non_primitive_poly_rejected(self):
+        # x^8 + 1 (0x101) is not primitive over GF(2^8).
+        with pytest.raises(tables.TableGenerationError):
+            tables.generate_exp_log(8, primitive_poly=0x101)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(tables.TableGenerationError):
+            tables.generate_exp_log(23)
+
+    def test_cached_tables_are_readonly(self):
+        exp, log = tables.exp_log_tables(8)
+        with pytest.raises(ValueError):
+            exp[0] = 7
+        with pytest.raises(ValueError):
+            log[1] = 7
+
+
+class TestMulTable:
+    def test_full_table_agrees_with_log_arithmetic(self):
+        table = tables.full_mul_table(8)
+        exp, log = tables.exp_log_tables(8)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            a, b = int(rng.integers(1, 256)), int(rng.integers(1, 256))
+            expect = int(exp[log[a] + log[b]])
+            assert int(table[a, b]) == expect
+
+    def test_zero_row_and_column(self):
+        table = tables.full_mul_table(8)
+        assert not table[0, :].any()
+        assert not table[:, 0].any()
+
+    def test_one_is_identity(self):
+        table = tables.full_mul_table(8)
+        assert np.array_equal(table[1], np.arange(256, dtype=np.uint8))
+
+    def test_refused_for_wide_fields(self):
+        with pytest.raises(tables.TableGenerationError):
+            tables.full_mul_table(16)
+
+    def test_small_field_table(self):
+        table = tables.full_mul_table(4)
+        # GF(16): closed and commutative.
+        assert table.shape == (16, 16)
+        assert np.array_equal(table, table.T)
+
+
+class TestInverseTable:
+    @pytest.mark.parametrize("q", [2, 4, 8, 16])
+    def test_inverse_property(self, q):
+        inv = tables.inverse_table(q)
+        exp, log = tables.exp_log_tables(q)
+        order = (1 << q) - 1
+        for a in [1, 2, 3, 5, order, order - 1]:
+            if a >= (1 << q):
+                continue
+            b = int(inv[a])
+            prod = int(exp[log[a] + log[b]]) if a and b else 0
+            assert prod == 1
+
+    def test_zero_entry_is_zero(self):
+        assert tables.inverse_table(8)[0] == 0

@@ -1,0 +1,78 @@
+"""Tests for group-aware placement (the placement x weight-LP interaction)."""
+
+import pytest
+
+from repro.cluster import Cluster, GroupAwarePlacement, PerformanceAwarePlacement, PlacementError
+from repro.codes import LRCStructure
+from repro.core import GalloperCode, assign_weights
+
+
+def makespan(structure, cluster, placement):
+    perf = cluster.performance_vector(placement)
+    weights = assign_weights(structure, perf).weights
+    return max(float(w) / p for w, p in zip(weights, perf))
+
+
+class TestGroupAwarePlacement:
+    def test_distinct_servers(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.heterogeneous([1, 1, 1, 1, 0.4, 0.4, 0.4, 1, 1])
+        placed = GroupAwarePlacement(st).place(cluster, 7)
+        assert len(placed) == 7
+        assert len(set(placed)) == 7
+
+    def test_balances_group_speed_sums(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.heterogeneous([1, 1, 1, 1, 0.4, 0.4, 0.4])
+        placed = GroupAwarePlacement(st).place(cluster, 7)
+        sums = []
+        for j in range(st.l):
+            members = st.group_members(j)
+            sums.append(sum(cluster.server(placed[b]).cpu_speed for b in members))
+        assert max(sums) - min(sums) <= 0.6  # nearly equal group sums
+
+    def test_beats_fast_first_on_makespan(self):
+        st = LRCStructure(4, 2, 1)
+        for speeds in ([1, 1, 1, 1, 0.4, 0.4, 0.4], [1, 1, 1, 0.5, 0.5, 0.5, 0.25]):
+            cluster = Cluster.heterogeneous(speeds)
+            aware = makespan(st, cluster, GroupAwarePlacement(st).place(cluster, 7))
+            naive = makespan(st, cluster, PerformanceAwarePlacement().place(cluster, 7))
+            assert aware <= naive + 1e-9, speeds
+
+    def test_homogeneous_cluster_unaffected(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.homogeneous(7)
+        aware = makespan(st, cluster, GroupAwarePlacement(st).place(cluster, 7))
+        assert aware == pytest.approx(4 / 7)
+
+    def test_block_count_must_match_structure(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.homogeneous(10)
+        with pytest.raises(PlacementError):
+            GroupAwarePlacement(st).place(cluster, 6)
+
+    def test_works_with_all_symbol_structure(self):
+        st = LRCStructure(4, 2, 2, all_symbol=True)
+        cluster = Cluster.heterogeneous([1, 1, 1, 1, 0.5, 0.5, 0.5, 0.5, 1])
+        placed = GroupAwarePlacement(st).place(cluster, st.n)
+        assert len(set(placed)) == st.n
+
+    def test_end_to_end_with_filesystem(self):
+        from repro.storage import DistributedFileSystem
+        from tests.conftest import payload_bytes
+
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.heterogeneous([1, 1, 1, 1, 0.4, 0.4, 0.4])
+        dfs = DistributedFileSystem(cluster)
+        payload = payload_bytes(14_000, seed=30)
+        ef = dfs.write_file(
+            "f",
+            payload,
+            code_factory=lambda perf: GalloperCode(4, 2, 1, performances=perf),
+            placement=GroupAwarePlacement(st),
+        )
+        assert dfs.read_file("f") == payload
+        # Fully proportional weights achieved: max weight = 10/13.
+        from fractions import Fraction
+
+        assert max(ef.code.weights) == Fraction(10, 13)

@@ -1,0 +1,87 @@
+"""Tests for the sequential stripe walk and rotation bookkeeping."""
+
+import pytest
+
+from repro.core.layout import LayoutError, rotation_permutation, sequential_selection
+
+
+class TestSequentialSelection:
+    def test_paper_toy_example(self):
+        """Fig. 4: counts (6,6,6,6,4) over N=7 rows."""
+        sel = sequential_selection([6, 6, 6, 6, 4], 7)
+        assert sel.per_block[0] == (0, 1, 2, 3, 4, 5)
+        assert sel.per_block[1] == (6, 0, 1, 2, 3, 4)
+        assert sel.per_block[2] == (5, 6, 0, 1, 2, 3)
+        assert sel.per_block[3] == (4, 5, 6, 0, 1, 2)
+        assert sel.per_block[4] == (3, 4, 5, 6)
+
+    def test_every_row_chosen_k_times(self):
+        sel = sequential_selection([6, 6, 6, 6, 4], 7)
+        for row, choosers in enumerate(sel.choosers_by_row):
+            assert len(choosers) == 4, row
+
+    def test_uniform_counts(self):
+        sel = sequential_selection([4] * 7, 7)
+        for choosers in sel.choosers_by_row:
+            assert len(choosers) == 4
+
+    def test_total_must_divide(self):
+        with pytest.raises(LayoutError):
+            sequential_selection([3, 3], 7)
+
+    def test_count_exceeding_rows_rejected(self):
+        with pytest.raises(LayoutError):
+            sequential_selection([8, 6], 7)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(LayoutError):
+            sequential_selection([-1, 8], 7)
+
+    def test_zero_total_is_empty(self):
+        sel = sequential_selection([0, 0], 5)
+        assert sel.per_block == ((), ())
+
+    def test_zero_row_limit_with_selection_rejected(self):
+        with pytest.raises(LayoutError):
+            sequential_selection([1], 0)
+
+    def test_ordinal(self):
+        sel = sequential_selection([6, 6, 6, 6, 4], 7)
+        assert sel.ordinal(1, 6) == 0
+        assert sel.ordinal(1, 0) == 1
+        assert sel.ordinal(4, 3) == 0
+
+    def test_chosen_rows_contiguous_modulo(self):
+        sel = sequential_selection([5, 5, 5], 5)
+        for rows in sel.per_block:
+            for a, b in zip(rows, rows[1:]):
+                assert b == (a + 1) % 5
+
+
+class TestRotation:
+    def test_chosen_move_to_top_in_order(self):
+        perm = rotation_permutation([5, 6, 0, 1], 7)
+        assert perm[5] == 0
+        assert perm[6] == 1
+        assert perm[0] == 2
+        assert perm[1] == 3
+
+    def test_rest_keep_relative_order(self):
+        perm = rotation_permutation([5, 6, 0, 1], 7)
+        rest = [(old, perm[old]) for old in (2, 3, 4)]
+        assert [new for _, new in rest] == [4, 5, 6]
+
+    def test_is_permutation(self):
+        perm = rotation_permutation([2, 3], 6)
+        assert sorted(perm) == list(range(6))
+
+    def test_empty_chosen(self):
+        assert rotation_permutation([], 4) == [0, 1, 2, 3]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(LayoutError):
+            rotation_permutation([1, 1], 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(LayoutError):
+            rotation_permutation([4], 4)

@@ -1,0 +1,116 @@
+"""Tests for racks: topology, placement and cross-rack repair traffic."""
+
+import pytest
+
+from repro.cluster import Cluster, PlacementError, RackAwarePlacement
+from repro.codes import LRCStructure, PyramidCode, ReedSolomonCode
+from repro.core import GalloperCode
+from repro.storage import DistributedFileSystem, RepairManager
+from tests.conftest import payload_bytes
+
+
+class TestRackedClusters:
+    def test_racked_factory(self):
+        c = Cluster.racked(3, 5)
+        assert len(c) == 15
+        racks = c.racks()
+        assert set(racks) == {0, 1, 2}
+        assert all(len(v) == 5 for v in racks.values())
+
+    def test_failed_servers_leave_rack_listing(self):
+        c = Cluster.racked(2, 3)
+        c.fail(0)
+        assert len(c.racks()[0]) == 2
+
+    def test_default_single_rack(self):
+        c = Cluster.homogeneous(4)
+        assert set(c.racks()) == {0}
+
+
+class TestRackAwarePlacement:
+    def test_groups_fill_distinct_racks(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.racked(4, 4)
+        placed = RackAwarePlacement(st).place(cluster, 7)
+        rack_of = lambda b: cluster.server(placed[b]).rack
+        # Each repair group shares one rack...
+        for j in range(st.l):
+            racks = {rack_of(b) for b in st.group_members(j)}
+            assert len(racks) == 1, j
+        # ... and the two groups use different racks.
+        assert rack_of(0) != rack_of(3)
+        # The global parity sits in yet another rack.
+        assert rack_of(6) not in {rack_of(0), rack_of(3)}
+
+    def test_all_symbol_gp_group_shares_rack(self):
+        st = LRCStructure(4, 2, 2, all_symbol=True)
+        cluster = Cluster.racked(4, 4)
+        placed = RackAwarePlacement(st).place(cluster, st.n)
+        rack_of = lambda b: cluster.server(placed[b]).rack
+        racks = {rack_of(b) for b in st.group_members(st.gp_group_index)}
+        assert len(racks) == 1
+
+    def test_distinct_servers(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.racked(3, 3)
+        placed = RackAwarePlacement(st).place(cluster, 7)
+        assert len(set(placed)) == 7
+
+    def test_rack_too_small_rejected(self):
+        st = LRCStructure(6, 2, 1)  # groups of 4 blocks
+        cluster = Cluster.racked(4, 3)  # racks hold only 3
+        with pytest.raises(PlacementError):
+            RackAwarePlacement(st).place(cluster, st.n)
+
+    def test_block_count_checked(self):
+        st = LRCStructure(4, 2, 1)
+        with pytest.raises(PlacementError):
+            RackAwarePlacement(st).place(Cluster.racked(3, 4), 5)
+
+
+class TestCrossRackRepairTraffic:
+    @pytest.fixture
+    def env(self):
+        st = LRCStructure(4, 2, 1)
+        cluster = Cluster.racked(4, 4)
+        dfs = DistributedFileSystem(cluster)
+        payload = payload_bytes(28_000, seed=60)
+        ef = dfs.write_file(
+            "f", payload, code=GalloperCode(4, 2, 1), placement=RackAwarePlacement(st)
+        )
+        return cluster, dfs, ef, payload
+
+    def test_local_repair_stays_in_rack(self, env):
+        cluster, dfs, ef, _ = env
+        cluster.fail(ef.server_of(1))
+        report = RepairManager(dfs).repair_block("f", 1)
+        assert report.cross_rack_bytes == 0
+        # The rebuilt block stays in the group's rack.
+        old_rack = 0
+        assert cluster.server(report.target_server).rack == old_rack
+
+    def test_global_repair_crosses_racks(self, env):
+        cluster, dfs, ef, _ = env
+        cluster.fail(ef.server_of(6))
+        report = RepairManager(dfs).repair_block("f", 6)
+        assert report.cross_rack_bytes > 0
+
+    def test_rs_repairs_always_cross(self):
+        cluster = Cluster.racked(3, 3)
+        dfs = DistributedFileSystem(cluster)
+        payload = payload_bytes(8_000, seed=61)
+        # Round-robin scatters RS blocks over racks.
+        ef = dfs.write_file("f", payload, code=ReedSolomonCode(4, 2))
+        cluster.fail(ef.server_of(0))
+        report = RepairManager(dfs).repair_block("f", 0)
+        assert report.cross_rack_bytes > 0
+
+    def test_file_intact_after_rack_local_repairs(self, env):
+        cluster, dfs, ef, payload = env
+        for block in (0, 4):
+            victim = ef.server_of(block)
+            cluster.fail(victim)
+            RepairManager(dfs).repair_block("f", block)
+            cluster.recover(victim)
+            dfs.store.drop_server(victim)
+        assert dfs.read_file("f") == payload

@@ -1,0 +1,126 @@
+"""Tests for the repair pipeline."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.codes import PyramidCode, ReedSolomonCode, ReplicationCode
+from repro.core import GalloperCode
+from repro.storage import DistributedFileSystem, FileSystemError, RepairManager
+from tests.conftest import payload_bytes
+
+
+@pytest.fixture
+def setup():
+    cluster = Cluster.homogeneous(12)
+    dfs = DistributedFileSystem(cluster)
+    rm = RepairManager(dfs)
+    return cluster, dfs, rm
+
+
+class TestBlockRepair:
+    def test_repair_restores_readability(self, setup):
+        cluster, dfs, rm = setup
+        payload = payload_bytes(14_000, seed=1)
+        ef = dfs.write_file("f", payload, code=GalloperCode(4, 2, 1))
+        victim = ef.server_of(1)
+        cluster.fail(victim)
+        report = rm.repair_block("f", 1)
+        assert report.target_server != victim
+        assert ef.placement[1] == report.target_server
+        cluster.recover(victim)
+        dfs.store.drop_server(victim)
+        assert dfs.read_file("f") == payload
+
+    def test_local_repair_reads_two_blocks(self, setup):
+        cluster, dfs, rm = setup
+        ef = dfs.write_file("f", payload_bytes(14_000, seed=2), code=GalloperCode(4, 2, 1))
+        block_bytes = ef.block_size
+        cluster.fail(ef.server_of(0))
+        report = rm.repair_block("f", 0)
+        assert len(report.helpers) == 2
+        assert report.bytes_read == 2 * block_bytes
+
+    def test_rs_repair_reads_k_blocks(self, setup):
+        cluster, dfs, rm = setup
+        ef = dfs.write_file("f", payload_bytes(8_000, seed=3), code=ReedSolomonCode(4, 2))
+        cluster.fail(ef.server_of(0))
+        report = rm.repair_block("f", 0)
+        assert len(report.helpers) == 4
+        assert report.bytes_read == 4 * ef.block_size
+
+    def test_replication_repair_reads_one(self):
+        cluster = Cluster.homogeneous(14)  # 12 replicas + spares
+        dfs = DistributedFileSystem(cluster)
+        rm = RepairManager(dfs)
+        ef = dfs.write_file("f", payload_bytes(4_000, seed=4), code=ReplicationCode(4, 3))
+        cluster.fail(ef.server_of(0))
+        report = rm.repair_block("f", 0)
+        assert len(report.helpers) == 1
+
+    def test_repairing_healthy_block_rejected(self, setup):
+        _, dfs, rm = setup
+        dfs.write_file("f", payload_bytes(4_000, seed=5), code=ReedSolomonCode(4, 2))
+        with pytest.raises(FileSystemError):
+            rm.repair_block("f", 0)
+
+    def test_repair_avoids_servers_already_hosting(self, setup):
+        cluster, dfs, rm = setup
+        ef = dfs.write_file("f", payload_bytes(14_000, seed=6), code=PyramidCode(4, 2, 1))
+        used_before = set(ef.placement.values())
+        cluster.fail(ef.server_of(3))
+        report = rm.repair_block("f", 3)
+        assert report.target_server not in used_before - {ef.server_of(3)}
+
+    def test_estimated_time_positive(self, setup):
+        cluster, dfs, rm = setup
+        ef = dfs.write_file("f", payload_bytes(14_000, seed=7), code=GalloperCode(4, 2, 1))
+        cluster.fail(ef.server_of(2))
+        assert rm.repair_block("f", 2).estimated_time > 0
+
+
+class TestServerRepair:
+    def test_repair_server_covers_all_files(self, setup):
+        cluster, dfs, rm = setup
+        p1 = payload_bytes(14_000, seed=8)
+        p2 = payload_bytes(7_000, seed=9)
+        dfs.write_file("a", p1, code=GalloperCode(4, 2, 1))
+        dfs.write_file("b", p2, code=GalloperCode(4, 2, 1))
+        cluster.fail(0)
+        report = rm.repair_server(0)
+        assert report.blocks_rebuilt == 2
+        cluster.recover(0)
+        dfs.store.drop_server(0)
+        assert dfs.read_file("a") == p1
+        assert dfs.read_file("b") == p2
+
+    def test_repair_all_sweep(self, setup):
+        cluster, dfs, rm = setup
+        payload = payload_bytes(14_000, seed=10)
+        ef = dfs.write_file("a", payload, code=PyramidCode(4, 2, 1))
+        cluster.fail(ef.server_of(0))
+        cluster.fail(ef.server_of(5))
+        reports = rm.repair_all()
+        assert {r.block for r in reports} == {0, 5}
+
+    def test_double_failure_in_group_uses_fallback(self, setup):
+        """Both blocks of a group lost: local repair impossible, decode path
+        must kick in and still produce correct blocks."""
+        cluster, dfs, rm = setup
+        payload = payload_bytes(14_000, seed=11)
+        ef = dfs.write_file("a", payload, code=GalloperCode(4, 2, 1))
+        cluster.fail(ef.server_of(0))
+        cluster.fail(ef.server_of(1))
+        reports = rm.repair_all()
+        assert len(reports) == 2
+        # First repair cannot be group-local (its peer is dead too).
+        assert len(reports[0].helpers) >= 4
+        assert dfs.read_file("a") == payload
+
+    def test_no_spare_server(self):
+        cluster = Cluster.homogeneous(7)  # exactly n servers, no spare
+        dfs = DistributedFileSystem(cluster)
+        rm = RepairManager(dfs)
+        ef = dfs.write_file("f", payload_bytes(7_000, seed=12), code=GalloperCode(4, 2, 1))
+        cluster.fail(ef.server_of(0))
+        with pytest.raises(FileSystemError):
+            rm.repair_block("f", 0)

@@ -1,0 +1,52 @@
+"""Tests for risk-prioritized repair ordering."""
+
+from repro.cluster import Cluster
+from repro.core import GalloperCode
+from repro.storage import DistributedFileSystem, RepairManager
+from tests.conftest import payload_bytes
+
+
+class TestRepairTriage:
+    def test_most_damaged_file_repaired_first(self):
+        cluster = Cluster.homogeneous(20)
+        dfs = DistributedFileSystem(cluster)
+        p1 = payload_bytes(14_000, seed=80)
+        p2 = payload_bytes(14_000, seed=81)
+        from repro.cluster import RoundRobinPlacement
+
+        ef_light = dfs.write_file(
+            "a-light", p1, code=GalloperCode(4, 2, 1), placement=RoundRobinPlacement()
+        )
+        ef_heavy = dfs.write_file(
+            "b-heavy", p2, code=GalloperCode(4, 2, 1), placement=RoundRobinPlacement(offset=7)
+        )
+        # One failure for the light file, two for the heavy one.
+        victims = [ef_light.server_of(0), ef_heavy.server_of(0), ef_heavy.server_of(3)]
+        for v in victims:
+            cluster.fail(v)
+        reports = RepairManager(dfs).repair_all()
+        assert [r.file for r in reports] == ["b-heavy", "b-heavy", "a-light"]
+        # Everything healed.
+        for v in victims:
+            cluster.recover(v)
+            dfs.store.drop_server(v)
+        assert dfs.read_file("a-light") == p1
+        assert dfs.read_file("b-heavy") == p2
+
+    def test_alphabetical_within_equal_risk(self):
+        cluster = Cluster.homogeneous(20)
+        dfs = DistributedFileSystem(cluster)
+        from repro.cluster import RoundRobinPlacement
+
+        efs = {}
+        for i, name in enumerate(["zeta", "alpha"]):
+            efs[name] = dfs.write_file(
+                name,
+                payload_bytes(7_000, seed=82 + i),
+                code=GalloperCode(4, 2, 1),
+                placement=RoundRobinPlacement(offset=7 * i),
+            )
+        cluster.fail(efs["zeta"].server_of(1))
+        cluster.fail(efs["alpha"].server_of(1))
+        reports = RepairManager(dfs).repair_all()
+        assert [r.file for r in reports] == ["alpha", "zeta"]

@@ -1,0 +1,157 @@
+"""Tests for the discrete-event engine and resources."""
+
+import pytest
+
+from repro.sim import Simulation, SimulationError, SlotResource, ThroughputResource
+
+
+class TestSimulation:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_tie_break(self):
+        sim = Simulation()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        sim = Simulation()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_run_until(self):
+        sim = Simulation()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(5.0, lambda: log.append(5))
+        sim.run(until=2.0)
+        assert log == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert log == [1, 5]
+
+    def test_cancel(self):
+        sim = Simulation()
+        log = []
+        ev = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(ev)
+        sim.run()
+        assert log == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        sim = Simulation()
+        times = []
+        sim.schedule_at(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [4.0]
+
+    def test_peek(self):
+        sim = Simulation()
+        assert sim.peek() is None
+        ev = sim.schedule(2.0, lambda: None)
+        assert sim.peek() == 2.0
+        sim.cancel(ev)
+        assert sim.peek() is None
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulation()
+            trace = []
+            for i in range(10):
+                sim.schedule((i * 7) % 5 + 0.5, lambda i=i: trace.append(i))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()
+
+
+class TestSlotResource:
+    def test_parallel_up_to_capacity(self):
+        sim = Simulation()
+        res = SlotResource(sim, capacity=2)
+        finishes = {}
+        for name in ("a", "b", "c"):
+            res.submit(10.0, lambda t, n=name: finishes.__setitem__(n, t), name)
+        sim.run()
+        # a and b run together; c waits for a slot.
+        assert finishes["a"] == 10.0
+        assert finishes["b"] == 10.0
+        assert finishes["c"] == 20.0
+
+    def test_fifo_queue(self):
+        sim = Simulation()
+        res = SlotResource(sim, capacity=1)
+        order = []
+        for name, dur in (("a", 5.0), ("b", 1.0), ("c", 1.0)):
+            res.submit(dur, lambda t, n=name: order.append(n), name)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_busy_time_accounting(self):
+        sim = Simulation()
+        res = SlotResource(sim, capacity=4)
+        for _ in range(3):
+            res.submit(2.0, lambda t: None)
+        sim.run()
+        assert res.busy_time == 6.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            SlotResource(Simulation(), capacity=0)
+
+    def test_negative_duration_rejected(self):
+        res = SlotResource(Simulation(), capacity=1)
+        with pytest.raises(SimulationError):
+            res.submit(-1.0, lambda t: None)
+
+
+class TestThroughputResource:
+    def test_serial_transfers(self):
+        sim = Simulation()
+        pipe = ThroughputResource(sim, bandwidth=100.0)
+        times = []
+        pipe.transfer(200, lambda t: times.append(t))
+        pipe.transfer(100, lambda t: times.append(t))
+        sim.run()
+        assert times == [2.0, 3.0]
+
+    def test_bytes_accounting(self):
+        sim = Simulation()
+        pipe = ThroughputResource(sim, bandwidth=10.0)
+        pipe.transfer(50, lambda t: None)
+        sim.run()
+        assert pipe.bytes_moved == 50
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(SimulationError):
+            ThroughputResource(Simulation(), bandwidth=0)
+
+    def test_idle_gap_then_transfer(self):
+        sim = Simulation()
+        pipe = ThroughputResource(sim, bandwidth=10.0)
+        done = []
+        sim.schedule(5.0, lambda: pipe.transfer(10, lambda t: done.append(t)))
+        sim.run()
+        assert done == [6.0]

@@ -1,0 +1,149 @@
+"""Tests for striped files (bounded block sizes, multi-codeword files)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.codes import PyramidCode
+from repro.core import GalloperCode
+from repro.mapreduce import DataBlockInputFormat, MapReduceRuntime
+from repro.mapreduce.workloads import generate_text, wordcount_job, wordcount_reference
+from repro.storage import DistributedFileSystem, FileSystemError, RepairManager
+from repro.storage.striped import StripedFileSystem, StripedInputFormat, group_name
+from tests.conftest import payload_bytes
+
+
+@pytest.fixture
+def sfs():
+    cluster = Cluster.homogeneous(30)
+    dfs = DistributedFileSystem(cluster)
+    return StripedFileSystem(dfs)
+
+
+def galloper_factory():
+    return GalloperCode(4, 2, 1)
+
+
+class TestWriteRead:
+    def test_roundtrip(self, sfs):
+        payload = payload_bytes(300_000, seed=1)
+        meta = sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        assert meta.group_count > 1
+        assert sfs.read_file("f") == payload
+
+    def test_block_size_bounded(self, sfs):
+        payload = payload_bytes(500_000, seed=2)
+        cap = 16_384
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=cap)
+        for g in sfs.file("f").group_names():
+            ef = sfs.dfs.file(g)
+            assert ef.block_size <= cap
+
+    def test_single_group_small_file(self, sfs):
+        payload = payload_bytes(1_000, seed=3)
+        meta = sfs.write_file("f", payload, galloper_factory, max_block_bytes=1 << 20)
+        assert meta.group_count == 1
+        assert sfs.read_file("f") == payload
+
+    def test_group_placements_rotate(self, sfs):
+        payload = payload_bytes(300_000, seed=4)
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        meta = sfs.file("f")
+        placements = [
+            tuple(sorted(sfs.dfs.file(g).placement.values())) for g in meta.group_names()
+        ]
+        assert len(set(placements)) > 1  # spread over the cluster
+
+    def test_extent_reads(self, sfs):
+        payload = payload_bytes(250_000, seed=5)
+        meta = sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        gp = meta.group_payload
+        # Within one group, across a boundary, spanning multiple groups.
+        assert sfs.read_bytes("f", 100, 500) == payload[100:600]
+        assert sfs.read_bytes("f", gp - 7, 14) == payload[gp - 7 : gp + 7]
+        assert sfs.read_bytes("f", 10, 3 * gp) == payload[10 : 10 + 3 * gp]
+
+    def test_read_past_eof(self, sfs):
+        payload = payload_bytes(50_000, seed=6)
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        assert sfs.read_bytes("f", 49_000, 99_999) == payload[49_000:]
+
+    def test_duplicate_rejected(self, sfs):
+        sfs.write_file("f", b"x" * 100, galloper_factory)
+        with pytest.raises(FileSystemError):
+            sfs.write_file("f", b"y" * 100, galloper_factory)
+
+    def test_delete(self, sfs):
+        sfs.write_file("f", payload_bytes(100_000, seed=7), galloper_factory, max_block_bytes=16_384)
+        groups = sfs.file("f").group_names()
+        sfs.delete_file("f")
+        assert sfs.list_files() == []
+        for g in groups:
+            with pytest.raises(FileSystemError):
+                sfs.dfs.file(g)
+
+    def test_missing_file(self, sfs):
+        with pytest.raises(FileSystemError):
+            sfs.read_file("ghost")
+
+
+class TestFailuresAndRepair:
+    def test_degraded_read_across_groups(self, sfs):
+        payload = payload_bytes(200_000, seed=8)
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        victim = sfs.dfs.file(group_name("f", 0)).server_of(1)
+        sfs.cluster.fail(victim)
+        assert sfs.read_file("f") == payload
+
+    def test_repair_server_heals_all_groups(self, sfs):
+        payload = payload_bytes(200_000, seed=9)
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        victim = 0
+        sfs.cluster.fail(victim)
+        RepairManager(sfs.dfs).repair_server(victim)
+        sfs.cluster.recover(victim)
+        sfs.dfs.store.drop_server(victim)
+        assert sfs.read_file("f") == payload
+
+
+class TestStripedMapReduce:
+    def test_wordcount_correct(self, sfs):
+        text = generate_text(300_000, seed=10)
+        sfs.write_file("t", text, galloper_factory, max_block_bytes=16_384)
+        res = MapReduceRuntime(sfs).run(wordcount_job("t"), StripedInputFormat())
+        assert res.output == wordcount_reference(text)
+
+    def test_splits_cover_file(self, sfs):
+        text = generate_text(200_000, seed=11)
+        sfs.write_file("t", text, galloper_factory, max_block_bytes=16_384)
+        splits = sorted(StripedInputFormat().splits(sfs, "t"), key=lambda s: s.start)
+        covered = 0
+        for s in splits:
+            assert s.start == covered
+            covered = s.end
+        assert covered == len(text)
+
+    def test_more_groups_more_map_tasks(self, sfs):
+        text = generate_text(200_000, seed=12)
+        sfs.write_file("t", text, galloper_factory, max_block_bytes=16_384)
+        meta = sfs.file("t")
+        splits = StripedInputFormat().splits(sfs, "t")
+        assert len(splits) == meta.group_count * 7
+
+    def test_inner_format_pluggable(self, sfs):
+        text = generate_text(150_000, seed=13)
+        sfs.write_file(
+            "t", text, lambda: PyramidCode(4, 2, 1), max_block_bytes=16_384
+        )
+        splits = StripedInputFormat(inner=DataBlockInputFormat()).splits(sfs, "t")
+        meta = sfs.file("t")
+        assert len(splits) == meta.group_count * 4  # data blocks only
+
+    def test_sub_splitting(self, sfs):
+        text = generate_text(150_000, seed=14)
+        sfs.write_file("t", text, galloper_factory, max_block_bytes=16_384)
+        splits = StripedInputFormat(max_split_bytes=4_000).splits(sfs, "t")
+        assert all(s.length <= 4_000 for s in splits)
+        res = MapReduceRuntime(sfs).run(
+            wordcount_job("t"), StripedInputFormat(max_split_bytes=4_000)
+        )
+        assert res.output == wordcount_reference(text)

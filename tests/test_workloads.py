@@ -1,0 +1,93 @@
+"""Tests for workload generators, mappers and reference implementations."""
+
+from collections import Counter
+
+import pytest
+
+from repro.mapreduce.workloads import (
+    TERASORT_RECORD_SIZE,
+    generate_terasort_records,
+    generate_text,
+    grep_reference,
+    terasort_mapper,
+    terasort_output_records,
+    terasort_reducer,
+    terasort_reference,
+    wordcount_mapper,
+    wordcount_reducer,
+    wordcount_reference,
+)
+
+
+class TestTextGeneration:
+    def test_deterministic(self):
+        assert generate_text(5000, seed=3) == generate_text(5000, seed=3)
+
+    def test_seed_changes_output(self):
+        assert generate_text(5000, seed=1) != generate_text(5000, seed=2)
+
+    def test_size_exact(self):
+        assert len(generate_text(12_345, seed=0)) == 12_345
+
+    def test_contains_lines(self):
+        text = generate_text(3000, seed=4)
+        assert text.count(b"\n") > 5
+
+
+class TestWordcount:
+    def test_mapper_emits_pairs(self):
+        pairs = list(wordcount_mapper(b"the quick the"))
+        assert pairs == [("the", 1), ("quick", 1), ("the", 1)]
+
+    def test_reducer_sums(self):
+        assert wordcount_reducer("x", [1, 1, 1]) == 3
+
+    def test_reference_counts(self):
+        ref = wordcount_reference(b"a b a\nc a")
+        assert ref == {"a": 3, "b": 1, "c": 1}
+
+    def test_mapper_reducer_consistent_with_reference(self):
+        text = generate_text(4000, seed=5)
+        counts = Counter()
+        for line in text.split(b"\n"):
+            for k, v in wordcount_mapper(line):
+                counts[k] += v
+        assert dict(counts) == wordcount_reference(text)
+
+
+class TestTerasort:
+    def test_record_size(self):
+        blob = generate_terasort_records(50, seed=1)
+        assert len(blob) == 50 * TERASORT_RECORD_SIZE
+
+    def test_deterministic(self):
+        assert generate_terasort_records(10, seed=2) == generate_terasort_records(10, seed=2)
+
+    def test_mapper_extracts_key(self):
+        rec = b"K" * 10 + b"V" * 90
+        [(key, value)] = list(terasort_mapper(rec))
+        assert key == b"K" * 10
+        assert value == rec
+
+    def test_reference_sorted(self):
+        blob = generate_terasort_records(100, seed=3)
+        ref = terasort_reference(blob)
+        keys = [r[:10] for r in ref]
+        assert keys == sorted(keys)
+        assert len(ref) == 100
+
+    def test_output_flattening_round_trip(self):
+        blob = generate_terasort_records(60, seed=4)
+        groups = {}
+        for i in range(60):
+            rec = blob[i * 100 : (i + 1) * 100]
+            groups.setdefault(rec[:10], []).append(rec)
+        output = {k: terasort_reducer(k, v) for k, v in groups.items()}
+        assert terasort_output_records(output) == terasort_reference(blob)
+
+
+class TestGrep:
+    def test_reference(self):
+        payload = b"hit one\nmiss\nhit two\n"
+        assert grep_reference(payload, "hit") == 2
+        assert grep_reference(payload, "absent") == 0
