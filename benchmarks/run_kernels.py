@@ -1,0 +1,111 @@
+"""Kernel benchmark runner: writes the BENCH_kernels.json trajectory file.
+
+Runs the three kernel experiments from :mod:`repro.bench.experiments` —
+encode/decode/reconstruct throughput, plan-cache cold/warm reconstruction,
+and the GF(2^16) packed-kernel-vs-log/antilog comparison — and appends one
+run record to ``BENCH_kernels.json`` at the repository root, keeping the
+history so the numbers can be tracked across commits.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_kernels.py [--out PATH]
+
+Headline fields (also printed):
+
+* ``plan_cache_speedup`` — cold/warm ratio for repeated same-pattern
+  Galloper reconstruction (the repair-storm steady state).
+* ``gf16_kernel_speedup`` — packed gather tables vs the seed log/antilog
+  fallback on the dense GF(2^16) parity kernel (no unit coefficients).
+* ``gf16_encode_speedup`` — the same comparison end-to-end for a full
+  rs(6, 4) encode, where both sides get systematic rows nearly free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.bench.experiments import (
+    gf16_kernel_speedup,
+    kernel_throughput,
+    plan_cache_speedup,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def run() -> dict:
+    throughput = kernel_throughput()
+    cache = plan_cache_speedup()
+    gf16 = gf16_kernel_speedup()
+
+    cache_by_code = {row["code"]: row["speedup"] for row in cache.rows}
+    gf16_speedups = {
+        row["comparison"]: row["speedup"]
+        for row in gf16.rows
+        if row["kernel"] != "log/antilog (seed)"
+    }
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        # Headline metrics.
+        "plan_cache_speedup": cache_by_code["galloper"],
+        "gf16_kernel_speedup": gf16_speedups["dense kernel"],
+        "gf16_encode_speedup": gf16_speedups["rs encode"],
+        # Full tables.
+        "kernel_throughput": {"note": throughput.notes, "rows": throughput.rows},
+        "plan_cache": {"note": cache.notes, "rows": cache.rows},
+        "gf16": {"note": gf16.notes, "rows": gf16.rows},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_kernels.json",
+        help="trajectory file to append the run to",
+    )
+    args = parser.parse_args(argv)
+
+    record = run()
+    history: list[dict] = []
+    if args.out.exists():
+        try:
+            history = json.loads(args.out.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(record)
+    payload = {
+        "plan_cache_speedup": record["plan_cache_speedup"],
+        "gf16_kernel_speedup": record["gf16_kernel_speedup"],
+        "gf16_encode_speedup": record["gf16_encode_speedup"],
+        "runs": history,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    print(f"  plan_cache_speedup  (galloper reconstruct, cold/warm): {record['plan_cache_speedup']:.2f}x")
+    print(f"  gf16_kernel_speedup (dense parity kernel vs log/antilog): {record['gf16_kernel_speedup']:.2f}x")
+    print(f"  gf16_encode_speedup (rs(6,4) end-to-end encode): {record['gf16_encode_speedup']:.2f}x")
+    for row in record["kernel_throughput"]["rows"]:
+        print(
+            f"  {row['code']:>9}: encode {row['encode_mb_s']:7.1f} MB/s"
+            f"  decode {row['decode_mb_s']:7.1f} MB/s"
+            f"  reconstruct {row['reconstruct_mb_s']:7.1f} MB/s"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,7 @@ from repro.codes import (
 from repro.core import GalloperCode, assign_weights
 from repro.core.weights import solve_throttle_lp
 from repro.codes.structure import LRCStructure
-from repro.gf import random_symbols
+from repro.gf import CodingPlan, random_symbols
 from repro.mapreduce import (
     CostModel,
     DataBlockInputFormat,
@@ -85,6 +85,17 @@ def fig7_encoding(k_values=PAPER_K_VALUES, block_bytes: int = 4 * MB, repeats: i
     return table
 
 
+def _post_loss_ids(name: str, code) -> list[int]:
+    """Block ids used to decode after losing one data block (paper's Fig. 7b
+    setup: k-1 data-role blocks plus one parity-role block)."""
+    if name == "rs":
+        return list(range(1, code.k)) + [code.k]  # drop data block 0, add parity
+    st = code.structure
+    drop = st.data_blocks()[0]
+    local = st.group_members(0)[-1]
+    return [b for b in st.data_blocks() if b != drop] + [local]
+
+
 def fig7_decoding(k_values=PAPER_K_VALUES, block_bytes: int = 4 * MB, repeats: int = 3) -> Table:
     """Fig. 7b: decode the original data from k blocks after losing one.
 
@@ -101,14 +112,7 @@ def fig7_decoding(k_values=PAPER_K_VALUES, block_bytes: int = 4 * MB, repeats: i
         for name, code in _codes_for_k(k).items():
             data = _data_for(code, block_bytes, seed=k)
             blocks = code.encode(data)
-            if name == "rs":
-                ids = list(range(1, k)) + [k]  # drop data block 0, add parity
-            else:
-                st = code.structure
-                drop = st.data_blocks()[0]
-                local = st.group_members(0)[-1]
-                ids = [b for b in st.data_blocks() if b != drop] + [local]
-            available = {b: blocks[b] for b in ids}
+            available = {b: blocks[b] for b in _post_loss_ids(name, code)}
             row[name] = time_call(lambda c=code, a=available: c.decode(a), repeats)
         table.add(**row)
     table.note("decode from k-1 data blocks + 1 parity block, as the paper")
@@ -311,10 +315,8 @@ def fig10_heterogeneous(
             fast_servers=sum(fast) / len(fast) if fast else 0.0,
             map_phase=res.map_phase_time,
         )
-    table.note(
-        f"overall map-phase saving {saving(results['homogeneous'].map_phase_time, results['heterogeneous'].map_phase_time):.1f}% "
-        "(paper: 32.6%)"
-    )
+    overall = saving(results["homogeneous"].map_phase_time, results["heterogeneous"].map_phase_time)
+    table.note(f"overall map-phase saving {overall:.1f}% (paper: 32.6%)")
     return table
 
 
@@ -718,6 +720,189 @@ def extension_rack_traffic(payload_kb: int = 128) -> Table:
             cross_fraction=cross / total if total else 0.0,
         )
     table.note("4 racks x 4 servers; every block failed once; repairs via RepairManager")
+    return table
+
+
+# ------------------------------------------------------------ kernel benches
+
+
+def kernel_throughput(
+    k: int = 6, l: int = 2, g: int = 2, block_bytes: int = 1 * MB, repeats: int = 3
+) -> Table:
+    """Encode / decode / reconstruct throughput of the compiled-plan kernels.
+
+    MB/s of original payload for the three contenders at ``(k, l, g)``.
+    Decode and reconstruction run warm (plans cached), which is the steady
+    state of a serving system; :func:`plan_cache_speedup` isolates the
+    cold/warm gap.
+    """
+    table = Table(
+        title="Kernel throughput (MB/s)",
+        columns=("code", "encode_mb_s", "decode_mb_s", "reconstruct_mb_s"),
+    )
+    codes = {
+        "rs": ReedSolomonCode(k, l + g),
+        "pyramid": PyramidCode(k, l, g),
+        "galloper": GalloperCode(k, l, g),
+    }
+    for name, code in codes.items():
+        data = _data_for(code, block_bytes, seed=5)
+        payload_mb = data.nbytes / MB
+        enc_t = time_call(lambda c=code, d=data: c.encode(d), repeats)
+        blocks = code.encode(data)
+        available = {b: blocks[b] for b in _post_loss_ids(name, code)}
+        dec_t = time_call(lambda c=code, a=available: c.decode(a), repeats)
+        target = 0
+        avail = {b: blocks[b] for b in range(code.n) if b != target}
+        plan = code.repair_plan(target)
+        rec_t = time_call(lambda c=code, a=avail, p=plan: c.reconstruct(target, a, p), repeats)
+        block_mb = blocks[target].nbytes / MB
+        table.add(
+            code=name,
+            encode_mb_s=payload_mb / enc_t,
+            decode_mb_s=payload_mb / dec_t,
+            reconstruct_mb_s=block_mb / rec_t,
+        )
+    table.note(f"(k={k}, l={l}, g={g}), block {block_bytes // 1024} KiB, warm plan cache")
+    return table
+
+
+def plan_cache_speedup(
+    k: int = 6, l: int = 2, g: int = 2, block_bytes: int = 16 * 1024, repeats: int = 5
+) -> Table:
+    """Repeated same-pattern reconstruction: cold plans vs the LRU cache.
+
+    Cold clears the plan cache before every call, so each reconstruction
+    pays for ``express_rows`` (Gauss-Jordan) and table compilation; warm
+    reuses the compiled plan — the repair-storm steady state.
+    """
+    table = Table(
+        title="Plan cache — repeated same-pattern reconstruction",
+        columns=("code", "cold_s", "warm_s", "speedup"),
+    )
+    codes = {
+        "rs": ReedSolomonCode(k, l + g),
+        "pyramid": PyramidCode(k, l, g),
+        "galloper": GalloperCode(k, l, g),
+    }
+    for name, code in codes.items():
+        data = _data_for(code, block_bytes, seed=23)
+        blocks = code.encode(data)
+        target = 0
+        avail = {b: blocks[b] for b in range(code.n) if b != target}
+        plan = code.repair_plan(target)
+
+        def cold(c=code, a=avail, p=plan):
+            c.clear_plan_cache()
+            c.reconstruct(target, a, p)
+
+        cold_t = time_call(cold, repeats)
+        code.reconstruct(target, avail, plan)  # prime the cache
+        warm_t = time_call(lambda c=code, a=avail, p=plan: c.reconstruct(target, a, p), repeats)
+        table.add(code=name, cold_s=cold_t, warm_s=warm_t, speedup=cold_t / warm_t)
+    table.note(f"(k={k}, l={l}, g={g}), block {block_bytes // 1024} KiB, best of {repeats}")
+    return table
+
+
+def _interleaved_best(fast, slow, repeats: int) -> tuple[float, float]:
+    """Best-of timing with the two kernels alternated call-by-call.
+
+    Timing each side in its own window lets a transient slowdown (another
+    tenant, a frequency dip) land entirely on one kernel and skew the ratio;
+    alternating spreads any burst across both measurements.
+    """
+    fast_t = slow_t = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fast()
+        t1 = time.perf_counter()
+        slow()
+        t2 = time.perf_counter()
+        fast_t = min(fast_t, t1 - t0)
+        slow_t = min(slow_t, t2 - t1)
+    return fast_t, slow_t
+
+
+def gf16_kernel_speedup(
+    k: int = 6, r: int = 4, block_bytes: int = 1 * MB, repeats: int = 7
+) -> Table:
+    """GF(2^16) encode: packed gather tables vs the seed log/antilog loop.
+
+    The seed kernel fell back to per-coefficient ``axpy`` with log/antilog
+    arithmetic (and int64 temporaries) for fields wider than 8 bits; the
+    packed kernel gathers four pre-multiplied output lanes per ``uint64``
+    table entry.
+
+    Two comparisons are reported.  ``rs encode`` is the end-to-end encode:
+    both sides get the systematic rows nearly free (plan: row copies; seed:
+    the ``c == 1`` XOR shortcut in ``axpy``), and the normalized Cauchy
+    parity also contains a row of unit coefficients, so the ratio is diluted
+    by work the fallback never did.  ``dense kernel`` measures the parity
+    sub-matrix with every unit coefficient re-scaled away — the arithmetic
+    the log/antilog fallback actually pays for, and the number comparable to
+    ISA-L's table-lookup-vs-log speedups.
+    """
+    from repro.gf import GF65536, mat_data_product, mat_data_product_reference
+
+    table = Table(
+        title="GF(2^16) encode — packed gather tables vs log/antilog fallback",
+        columns=("comparison", "kernel", "time_s", "mb_s", "speedup"),
+    )
+    code = ReedSolomonCode(k, r, gf=GF65536)
+    data = _data_for(code, block_bytes // 2, seed=31)  # uint16 symbols
+    payload_mb = data.nbytes / MB
+    code.encode(data)  # build tables once; steady state is what we measure
+    fast_t, slow_t = _interleaved_best(
+        lambda: code.encode(data),
+        lambda: mat_data_product_reference(code.gf, code.generator, data),
+        repeats,
+    )
+    table.add(
+        comparison="rs encode",
+        kernel="log/antilog (seed)",
+        time_s=slow_t,
+        mb_s=payload_mb / slow_t,
+        speedup=1.0,
+    )
+    table.add(
+        comparison="rs encode",
+        kernel="packed tables",
+        time_s=fast_t,
+        mb_s=payload_mb / fast_t,
+        speedup=slow_t / fast_t,
+    )
+
+    # Dense-parity comparison: scale each parity row by a non-unit constant
+    # (a pure relabeling of the parity symbols — the code is unchanged) so
+    # neither side gets the c == 1 shortcut anywhere.
+    gf = code.gf
+    parity = code.generator[k * code.N :].copy()
+    for i in range(parity.shape[0]):
+        scale = gf.mul(2, i + 2) or 2
+        nz = parity[i] != 0
+        parity[i, nz] = [gf.mul(int(scale), int(c)) for c in parity[i, nz]]
+    dense_plan = CodingPlan(gf, parity)
+    dense_plan.apply(data)  # build tables
+    fast_d, slow_d = _interleaved_best(
+        lambda: dense_plan.apply(data),
+        lambda: mat_data_product_reference(gf, parity, data),
+        repeats,
+    )
+    table.add(
+        comparison="dense kernel",
+        kernel="log/antilog (seed)",
+        time_s=slow_d,
+        mb_s=payload_mb / slow_d,
+        speedup=1.0,
+    )
+    table.add(
+        comparison="dense kernel",
+        kernel="packed tables",
+        time_s=fast_d,
+        mb_s=payload_mb / fast_d,
+        speedup=slow_d / fast_d,
+    )
+    table.note(f"rs(k={k}, r={r}) over GF(2^16), payload {payload_mb:.1f} MB of uint16 symbols")
     return table
 
 

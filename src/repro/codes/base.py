@@ -14,6 +14,7 @@ locality of Pyramid/Galloper codes lives).
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,10 +23,11 @@ from repro.gf import (
     GF,
     GF256,
     express_rows,
-    mat_data_product,
+    inverse,
     rank,
     select_independent_rows,
 )
+from repro.gf.kernels import CodingPlan
 from repro.gf.matrix import SingularMatrixError
 
 
@@ -129,6 +131,23 @@ class RepairPlan:
         return int(sum(self.read_fractions[h] * block_size for h in self.helpers))
 
 
+@dataclass(frozen=True, eq=False)
+class DecodePlan:
+    """A compiled decode for one availability pattern.
+
+    Attributes:
+        ids: the available block ids the plan was compiled for (sorted).
+        rows: indices into the stacked ``(len(ids)*N, S)`` stripe array
+            selecting the independent rows the inverse was built from.
+        plan: compiled product with the inverted coefficient matrix;
+            applying it to the selected stripes yields the original data.
+    """
+
+    ids: tuple[int, ...]
+    rows: np.ndarray
+    plan: CodingPlan
+
+
 class ErasureCode(abc.ABC):
     """A systematic stripe-level linear erasure code.
 
@@ -219,6 +238,131 @@ class ErasureCode(abc.ABC):
             )
         return flat.reshape(total, flat.size // total)
 
+    # ----------------------------------------------------------- plan cache
+
+    #: Maximum number of compiled decode / repair plans retained per code
+    #: instance (LRU eviction).  Override per instance for testing.
+    PLAN_CACHE_SIZE = 128
+
+    def _plans(self) -> OrderedDict:
+        # Lazily created: subclasses populate attributes without calling a
+        # base __init__, so the cache cannot be set up there.
+        cache = self.__dict__.get("_plan_cache")
+        if cache is None:
+            cache = OrderedDict()
+            self.__dict__["_plan_cache"] = cache
+            self.__dict__["_plan_stats"] = {"hits": 0, "misses": 0}
+        return cache
+
+    def _plan_lookup(self, key):
+        cache = self._plans()
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            self._plan_stats["hits"] += 1
+            return hit
+        self._plan_stats["misses"] += 1
+        return None
+
+    def _plan_store(self, key, value):
+        cache = self._plans()
+        cache[key] = value
+        while len(cache) > self.PLAN_CACHE_SIZE:
+            cache.popitem(last=False)
+        return value
+
+    def plan_cache_info(self) -> dict:
+        """Hit/miss counters and occupancy of the compiled-plan cache."""
+        self._plans()
+        return {
+            "size": len(self._plan_cache),
+            "maxsize": self.PLAN_CACHE_SIZE,
+            "hits": self._plan_stats["hits"],
+            "misses": self._plan_stats["misses"],
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan (including the compiled encode plan)."""
+        self.__dict__.pop("_plan_cache", None)
+        self.__dict__.pop("_plan_stats", None)
+        self.__dict__.pop("_encode_plan", None)
+
+    def compile_encode(self) -> CodingPlan:
+        """The compiled generator product used by :meth:`encode`.
+
+        Built once per code instance: the generator's identity rows become
+        row copies and the parity rows packed-lane gathers (full or split
+        product tables, chosen by field width and matrix size).
+        """
+        plan = self.__dict__.get("_encode_plan")
+        if plan is None:
+            plan = CodingPlan(self.gf, self.generator)
+            self.__dict__["_encode_plan"] = plan
+        return plan
+
+    def compile_decode(self, available_ids) -> DecodePlan:
+        """Compile (or fetch from cache) the decode for one availability set.
+
+        The plan is keyed by the frozenset of available block ids, so the
+        row selection, Gauss-Jordan inversion and table compilation run
+        once per failure pattern no matter how many stripes stream through.
+
+        Raises:
+            DecodingError: when the blocks do not determine the data.
+        """
+        ids = tuple(sorted(set(available_ids)))
+        if not ids:
+            raise DecodingError("no blocks available")
+        key = ("decode", frozenset(ids))
+        cached = self._plan_lookup(key)
+        if cached is not None:
+            return cached
+        rows = self.rows_for_blocks(ids)
+        # Prefer rows that are pure data stripes: ordering them first keeps
+        # the elimination cheap and the decode systematic where possible.
+        order = np.argsort(
+            [0 if self._is_identity_row(rows[i]) else 1 for i in range(rows.shape[0])],
+            kind="stable",
+        )
+        try:
+            picked = select_independent_rows(self.gf, rows[order], self.data_stripe_total)
+        except SingularMatrixError as exc:
+            raise DecodingError(
+                f"{self.name}: blocks {list(ids)} cannot decode the original data"
+            ) from exc
+        sel = order[picked]
+        plan = DecodePlan(
+            ids=ids,
+            rows=sel,
+            plan=CodingPlan(self.gf, inverse(self.gf, rows[sel])),
+        )
+        return self._plan_store(key, plan)
+
+    def compile_reconstruct(self, target: int, helpers) -> CodingPlan:
+        """Compile (or fetch) the coefficients rebuilding ``target`` from ``helpers``.
+
+        Cached by ``(target, helpers)``: repeated failures of the same
+        pattern — the common case in repair storms and benchmarks — skip
+        :func:`~repro.gf.matrix.express_rows` entirely.
+
+        Raises:
+            DecodingError: when the helpers cannot express the target rows.
+        """
+        helpers = tuple(helpers)
+        key = ("repair", target, helpers)
+        cached = self._plan_lookup(key)
+        if cached is not None:
+            return cached
+        helper_rows = self.rows_for_blocks(helpers)
+        target_rows = self.generator[self.block_rows(target)]
+        try:
+            coeffs = express_rows(self.gf, target_rows, helper_rows)
+        except SingularMatrixError as exc:
+            raise DecodingError(
+                f"{self.name}: helpers {helpers} cannot express block {target}"
+            ) from exc
+        return self._plan_store(key, CodingPlan(self.gf, coeffs))
+
     # ------------------------------------------------------------ operations
 
     def encode(self, data: np.ndarray) -> np.ndarray:
@@ -230,7 +374,7 @@ class ErasureCode(abc.ABC):
             raise CodeError(
                 f"{self.name}: expected {self.data_stripe_total} data stripes, got {data.shape[0]}"
             )
-        flat = mat_data_product(self.gf, self.generator, data.astype(self.gf.dtype))
+        flat = self.compile_encode().apply(data)
         return flat.reshape(self.n, self.N, data.shape[1])
 
     def can_decode(self, available) -> bool:
@@ -251,24 +395,11 @@ class ErasureCode(abc.ABC):
         """
         if not available:
             raise DecodingError("no blocks available")
-        ids = sorted(available)
-        rows = self.rows_for_blocks(ids)
-        stripes = np.concatenate([np.asarray(available[b]).reshape(self.N, -1) for b in ids], axis=0)
-        # Prefer rows that are pure data stripes: ordering them first keeps
-        # the elimination cheap and the decode systematic where possible.
-        order = np.argsort([0 if self._is_identity_row(rows[i]) else 1 for i in range(rows.shape[0])], kind="stable")
-        rows_ordered = rows[order]
-        try:
-            picked = select_independent_rows(self.gf, rows_ordered, self.data_stripe_total)
-        except SingularMatrixError as exc:
-            raise DecodingError(
-                f"{self.name}: blocks {ids} cannot decode the original data"
-            ) from exc
-        sel = order[picked]
-        from repro.gf import inverse, mat_data_product as _mdp
-
-        inv = inverse(self.gf, rows[sel])
-        return _mdp(self.gf, inv, stripes[sel])
+        dp = self.compile_decode(available)
+        stripes = np.concatenate(
+            [np.asarray(available[b]).reshape(self.N, -1) for b in dp.ids], axis=0
+        )
+        return dp.plan.apply(stripes[dp.rows])
 
     @staticmethod
     def _is_identity_row(row: np.ndarray) -> bool:
@@ -334,18 +465,11 @@ class ErasureCode(abc.ABC):
         missing = [h for h in plan.helpers if h not in available]
         if missing:
             raise DecodingError(f"repair plan for block {target} needs unavailable blocks {missing}")
-        helper_rows = self.rows_for_blocks(plan.helpers)
-        target_rows = self.generator[self.block_rows(target)]
-        try:
-            coeffs = express_rows(self.gf, target_rows, helper_rows)
-        except SingularMatrixError as exc:
-            raise DecodingError(
-                f"{self.name}: helpers {plan.helpers} cannot express block {target}"
-            ) from exc
+        compiled = self.compile_reconstruct(target, plan.helpers)
         stripes = np.concatenate(
             [np.asarray(available[h]).reshape(self.N, -1) for h in plan.helpers], axis=0
         )
-        rebuilt = mat_data_product(self.gf, coeffs, stripes)
+        rebuilt = compiled.apply(stripes)
         return rebuilt, plan
 
     # --------------------------------------------------------------- checks

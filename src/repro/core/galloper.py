@@ -47,6 +47,7 @@ from repro.codes.structure import GroupRepairMixin, LRCStructure
 from repro.core.layout import Selection, rotation_permutation, sequential_selection
 from repro.core.weights import WeightAssignment, assign_weights, finalize
 from repro.gf import GF, inverse, matmul
+from repro.gf.kernels import mat_data_product
 
 
 class ConstructionError(CodeError):
@@ -225,7 +226,10 @@ class GalloperCode(GroupRepairMixin, ErasureCode):
                     for bb, nc in enumerate(new_cols):
                         m[oc, nc] = sub_inv[a, bb]
 
-        gen = matmul(self.gf, ghat, m)
+        # The step-2 basis change is the construction's one large product
+        # ((n*N, k*N) x (k*N, k*N)); run it through the batched gather
+        # kernel so wide fields use split tables instead of log/antilog.
+        gen = mat_data_product(self.gf, ghat, m)
 
         # Rotate the step-2 chosen stripes to the top of every grouped block.
         for b in range(self.n):

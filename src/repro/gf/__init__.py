@@ -5,6 +5,12 @@ codes — performs its symbol arithmetic through the objects exported here.
 """
 
 from repro.gf.field import GF, GF256, GF65536, GFError, field_for_code_width
+from repro.gf.kernels import (
+    CodingPlan,
+    mat_data_product_reference,
+    split_product_tables,
+    validate_symbols,
+)
 from repro.gf.matrix import (
     SingularMatrixError,
     cauchy,
@@ -48,6 +54,10 @@ __all__ = [
     "GF65536",
     "GFError",
     "field_for_code_width",
+    "CodingPlan",
+    "mat_data_product_reference",
+    "split_product_tables",
+    "validate_symbols",
     "SingularMatrixError",
     "cauchy",
     "expand_by_identity",

@@ -30,29 +30,19 @@ def identity(gf: GF, n: int) -> np.ndarray:
 
 
 def matmul(gf: GF, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over GF.  Shapes follow the usual (m,n)x(n,p) rule."""
+    """Matrix product over GF.  Shapes follow the usual (m,n)x(n,p) rule.
+
+    Delegates to the batched gather kernels (:mod:`repro.gf.kernels`), so
+    GF(2^16) products run through split tables rather than per-entry
+    log/antilog arithmetic.
+    """
+    from repro.gf.kernels import mat_data_product as _batched
+
     a = np.asarray(a)
     b = np.asarray(b)
     if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
         raise GFError(f"cannot multiply shapes {a.shape} and {b.shape}")
-    m, n = a.shape
-    p = b.shape[1]
-    out = np.zeros((m, p), dtype=gf.dtype)
-    if gf.mul_table is not None and n > 0:
-        table = gf.mul_table
-        for i in range(m):
-            row = a[i]
-            nz = np.nonzero(row)[0]
-            if nz.size == 0:
-                continue
-            out[i] = np.bitwise_xor.reduce(table[row[nz][:, None], b[nz]], axis=0)
-        return out
-    for i in range(m):
-        for j in range(n):
-            c = int(a[i, j])
-            if c:
-                np.bitwise_xor(out[i], gf.scalar_mul_array(c, b[j]), out=out[i])
-    return out
+    return _batched(gf, a, b)
 
 
 def _eliminate(gf: GF, work: np.ndarray, ncols: int) -> int:

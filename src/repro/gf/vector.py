@@ -55,40 +55,18 @@ def mat_data_product(gf: GF, coeffs: np.ndarray, data: np.ndarray) -> np.ndarray
         data: ``(n, S)`` array whose rows are stripes of payload symbols.
 
     Returns:
-        ``(m, S)`` array: each output row is the GF-linear combination of the
-        data rows given by the corresponding coefficient row.
+        ``(m, S)`` array of ``gf.dtype``: each output row is the GF-linear
+        combination of the data rows given by the corresponding coefficient
+        row.
 
-    The kernel gathers ``mul_table[coeffs[i, j]][data[j]]`` row by row and
-    XOR-reduces, which keeps all work inside numpy.  For fields wider than
-    8 bits it falls back to log/antilog arithmetic.
+    This delegates to the batched gather kernels of :mod:`repro.gf.kernels`
+    (full-table gathers for q <= 8, split tables for GF(2^16)); callers
+    that reuse one matrix should compile a
+    :class:`~repro.gf.kernels.CodingPlan` instead.
     """
-    coeffs = np.asarray(coeffs)
-    data = np.asarray(data)
-    if coeffs.ndim != 2 or data.ndim != 2:
-        raise GFError("mat_data_product expects 2-D coeffs and 2-D data")
-    m, n = coeffs.shape
-    if data.shape[0] != n:
-        raise GFError(f"dimension mismatch: coeffs is {coeffs.shape}, data has {data.shape[0]} rows")
-    out = np.zeros((m, data.shape[1]), dtype=data.dtype)
-    if data.shape[1] == 0 or n == 0:
-        return out
-    table = gf.mul_table
-    if table is not None:
-        for i in range(m):
-            row = coeffs[i]
-            nz = np.nonzero(row)[0]
-            if nz.size == 0:
-                continue
-            # Gather the scaled contributions of every participating stripe
-            # in one fancy-index, then fold them with a single XOR reduce.
-            gathered = table[row[nz][:, None], data[nz]]
-            out[i] = np.bitwise_xor.reduce(gathered, axis=0)
-        return out
-    for i in range(m):
-        acc = out[i]
-        for j in range(n):
-            axpy(gf, int(coeffs[i, j]), data[j], acc)
-    return out
+    from repro.gf.kernels import mat_data_product as _batched
+
+    return _batched(gf, coeffs, data)
 
 
 def xor_rows(rows: np.ndarray) -> np.ndarray:

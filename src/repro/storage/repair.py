@@ -127,7 +127,14 @@ class RepairManager:
                 plan.read_fractions[h] * block_bytes
             )
 
+        # Reconstruction goes through the code's compiled-plan cache:
+        # repeated failures of the same (target, helpers) pattern — the
+        # normal shape of a repair storm — skip the linear algebra and jump
+        # straight to the table-gather kernel.  Surface cache effectiveness
+        # through the filesystem metrics.
+        hits_before = ef.code.plan_cache_info()["hits"]
         rebuilt, plan = ef.code.reconstruct(block, available, plan)
+        self.dfs.metrics.add("plan_cache_hits", ef.code.plan_cache_info()["hits"] - hits_before)
 
         if target_server is None:
             old_server = ef.placement.get(block)

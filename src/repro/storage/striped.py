@@ -83,19 +83,23 @@ class StripedFileSystem:
         code_factory,
         max_block_bytes: int = 1 << 20,
         placement: PlacementPolicy | None = None,
+        share_code: bool = True,
     ) -> StripedFileMeta:
         """Write a payload as rotated stripe groups.
 
         Args:
             name: file name.
             payload: bytes (or byte-like) content.
-            code_factory: zero-argument callable building a *fresh* code
-                per group (codes are cheap to construct; sharing one
-                instance would also be fine, but a factory keeps the API
-                uniform with performance-aware construction).
+            code_factory: zero-argument callable building the code; a
+                factory keeps the API uniform with performance-aware
+                construction.
             max_block_bytes: cap on each stored block's size.
             placement: base placement policy; the group index is used as
                 a rotation offset so groups land on different servers.
+            share_code: reuse one code instance for every group (the
+                default), so the compiled encode plan and any decode /
+                repair plans are built once and shared by all groups.
+                Pass ``False`` to build a fresh code per group.
         """
         if name in self.striped:
             raise FileSystemError(f"striped file {name!r} already exists")
@@ -115,7 +119,8 @@ class StripedFileSystem:
         for i in range(group_count):
             chunk = data[i * group_payload : (i + 1) * group_payload]
             pol = placement or RoundRobinPlacement(offset=i * probe.n)
-            self.dfs.write_file(group_name(name, i), chunk, code=code_factory(), placement=pol)
+            code = probe if share_code else code_factory()
+            self.dfs.write_file(group_name(name, i), chunk, code=code, placement=pol)
         self.striped[name] = meta
         return meta
 

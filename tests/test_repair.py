@@ -124,3 +124,20 @@ class TestServerRepair:
         cluster.fail(ef.server_of(0))
         with pytest.raises(FileSystemError):
             rm.repair_block("f", 0)
+
+
+class TestPlanCacheMetrics:
+    def test_repeated_same_pattern_repairs_hit_plan_cache(self, setup):
+        """A repair storm re-failing the same block reuses the compiled
+        plan; the filesystem metric surfaces the cache hits."""
+        cluster, dfs, rm = setup
+        ef = dfs.write_file("f", payload_bytes(14_000, seed=21), code=GalloperCode(4, 2, 1))
+        assert dfs.metrics.total("plan_cache_hits") == 0
+        for round_no in range(3):
+            victim = ef.server_of(0)
+            cluster.fail(victim)
+            rm.repair_block("f", 0)
+            cluster.recover(victim)
+        # First repair compiles the plan, later identical repairs hit it.
+        assert dfs.metrics.total("plan_cache_hits") == 2
+        assert ef.code.plan_cache_info()["hits"] == 2

@@ -147,3 +147,38 @@ class TestStripedMapReduce:
             wordcount_job("t"), StripedInputFormat(max_split_bytes=4_000)
         )
         assert res.output == wordcount_reference(text)
+
+
+class TestSharedPlans:
+    def test_groups_share_one_code_instance(self, sfs):
+        payload = payload_bytes(300_000, seed=21)
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        meta = sfs.file("f")
+        assert meta.group_count > 1
+        codes = {id(sfs.dfs.file(g).code) for g in meta.group_names()}
+        assert len(codes) == 1  # compiled plans shared by every group
+
+    def test_share_code_false_builds_fresh_codes(self, sfs):
+        payload = payload_bytes(300_000, seed=22)
+        sfs.write_file(
+            "f", payload, galloper_factory, max_block_bytes=16_384, share_code=False
+        )
+        meta = sfs.file("f")
+        codes = {id(sfs.dfs.file(g).code) for g in meta.group_names()}
+        assert len(codes) == meta.group_count
+
+    def test_shared_code_repair_storm_hits_plan_cache(self, sfs):
+        payload = payload_bytes(300_000, seed=23)
+        sfs.write_file("f", payload, galloper_factory, max_block_bytes=16_384)
+        meta = sfs.file("f")
+        rm = RepairManager(sfs.dfs)
+        # Lose block 0 of every group: same (target, helpers) pattern, so
+        # the shared code compiles one plan and every later group hits it.
+        for g in meta.group_names():
+            ef = sfs.dfs.file(g)
+            sfs.dfs.store.drop(ef.server_of(0), g, 0)
+        rm.repair_all()
+        assert sfs.read_file("f") == payload
+        info = sfs.dfs.file(meta.group_names()[0]).code.plan_cache_info()
+        assert info["misses"] >= 1
+        assert info["hits"] >= meta.group_count - 1
