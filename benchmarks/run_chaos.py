@@ -1,0 +1,105 @@
+"""Chaos campaign runner: writes the BENCH_chaos.json trajectory file.
+
+Runs the seeded gray-failure campaign from :mod:`repro.bench.chaos` —
+crash traces composed with flaky, gray, spiky and silently-corrupting
+servers, driven against RS/Pyramid/Galloper files with repairs and a
+throttled reconstruction storm — and appends one run record to
+``BENCH_chaos.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_chaos.py [--out PATH]
+        [--schedules N] [--seed S] [--checkpoints C]
+
+Headline fields (also printed):
+
+* ``mismatches`` — reads that returned wrong bytes (must be 0; the
+  campaign exits nonzero otherwise).
+* ``unavailable`` — reads that stayed undecodable through all retries.
+* ``degraded_read_overhead`` — per-code mean chaos read latency over the
+  clean-cluster baseline.
+* the resilience counters (``retries``, ``hedged_reads``,
+  ``breaker_opens``, ``repairs_throttled``, ...) aggregated across the
+  whole campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.bench.chaos import run_campaign
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def run(schedules: int, base_seed: int, checkpoints: int) -> dict:
+    t0 = time.perf_counter()
+    record = run_campaign(schedules=schedules, base_seed=base_seed, checkpoints=checkpoints)
+    record["wall_seconds"] = round(time.perf_counter() - t0, 2)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    record["python"] = platform.python_version()
+    record["numpy"] = np.__version__
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_chaos.json",
+        help="trajectory file to append the run to",
+    )
+    parser.add_argument("--schedules", type=int, default=50, help="seeded schedules per code")
+    parser.add_argument("--seed", type=int, default=2018, help="base seed (schedule i uses seed+i)")
+    parser.add_argument("--checkpoints", type=int, default=8, help="read-back checkpoints per schedule")
+    args = parser.parse_args(argv)
+
+    record = run(args.schedules, args.seed, args.checkpoints)
+    history: list[dict] = []
+    if args.out.exists():
+        try:
+            history = json.loads(args.out.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(record)
+    payload = {
+        "mismatches": record["mismatches"],
+        "unavailable": record["unavailable"],
+        "reads": record["reads"],
+        "metrics": record["metrics"],
+        "degraded_read_overhead": {
+            code: stats["degraded_read_overhead"] for code, stats in record["per_code"].items()
+        },
+        "runs": history,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    print(
+        f"  {record['reads']} reads over {record['schedules']} schedules x "
+        f"{len(record['codes'])} codes in {record['wall_seconds']}s"
+    )
+    print(f"  mismatches: {record['mismatches']}  unavailable: {record['unavailable']}")
+    for name, value in record["metrics"].items():
+        print(f"  {name:>22}: {value:.0f}")
+    for code, stats in record["per_code"].items():
+        print(f"  {code:>15}: degraded-read overhead {stats['degraded_read_overhead']:.0f}x baseline")
+
+    if record["mismatches"]:
+        print("FAILED: byte mismatches under chaos", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,15 @@ from repro.codes import (
     RotatedPyramidCode,
 )
 from repro.core import GalloperCode, assign_weights
-from repro.storage import DistributedFileSystem, MetricsRegistry, RepairManager
+from repro.faults import ChaosSchedule, FaultModel, VirtualClock, generate_schedules
+from repro.storage import (
+    DistributedFileSystem,
+    HealthMonitor,
+    MetricsRegistry,
+    RepairManager,
+    ResilientBlockClient,
+    RetryPolicy,
+)
 
 __version__ = "1.0.0"
 
@@ -61,8 +69,15 @@ __all__ = [
     "RotatedPyramidCode",
     "GalloperCode",
     "assign_weights",
+    "ChaosSchedule",
+    "FaultModel",
+    "VirtualClock",
+    "generate_schedules",
     "DistributedFileSystem",
+    "HealthMonitor",
     "MetricsRegistry",
     "RepairManager",
+    "ResilientBlockClient",
+    "RetryPolicy",
     "__version__",
 ]

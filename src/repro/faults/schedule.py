@@ -1,0 +1,201 @@
+"""Seeded chaos schedules: crash traces composed with transient faults.
+
+A :class:`ChaosSchedule` is everything one campaign run injects into a
+cluster: a bounded crash/recover trace (built on
+:func:`~repro.cluster.failure.poisson_failure_trace`) plus a set of
+:class:`~repro.faults.model.FaultComponent` behaviours (flaky servers,
+gray slowdowns, background error/spike/corruption rates).  Schedules are
+pure functions of their seed, so a campaign of N schedules is exactly
+reproducible from N integers — the property the chaos CI job asserts.
+
+The crash trace is pruned so that at most ``max_concurrent_crashes``
+servers are ever down at once; campaigns pick that bound from the
+weakest code under test (an RS(n, k) file tolerates ``n - k`` losses).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.failure import FailureEvent, poisson_failure_trace
+from repro.cluster.topology import Cluster
+from repro.faults.model import (
+    FaultComponent,
+    FaultModel,
+    GraySlowdown,
+    LatencySpikes,
+    SilentCorruption,
+    TransientErrors,
+)
+
+
+def bound_concurrent_crashes(events: list[FailureEvent], limit: int) -> list[FailureEvent]:
+    """Drop crash events that would exceed ``limit`` simultaneous failures."""
+    kept: list[FailureEvent] = []
+    active: list[float] = []  # recover times of in-flight crashes (inf = never)
+    for ev in sorted(events, key=lambda e: e.time):
+        active = [r for r in active if r > ev.time]
+        if len(active) >= limit:
+            continue
+        kept.append(ev)
+        active.append(float("inf") if ev.recover_at is None else ev.recover_at)
+    return kept
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One seeded campaign scenario.
+
+    Attributes:
+        seed: the integer the whole schedule derives from.
+        horizon: length of the scenario in simulated seconds.
+        crashes: crash/recover trace, already concurrency-bounded.
+        components: transient-fault behaviours for the
+            :class:`~repro.faults.model.FaultModel`.
+        max_concurrent_crashes: the bound the trace was pruned to.
+    """
+
+    seed: int
+    horizon: float
+    crashes: tuple[FailureEvent, ...]
+    components: tuple[FaultComponent, ...]
+    max_concurrent_crashes: int = 1
+
+    def fault_model(self) -> FaultModel:
+        """A fresh seeded model for this schedule's transient faults."""
+        return FaultModel(*self.components, seed=self.seed)
+
+    def runner(self) -> "ChaosRunner":
+        return ChaosRunner(self)
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "crashes": len(self.crashes),
+            "components": [type(c).__name__ for c in self.components],
+            "max_concurrent_crashes": self.max_concurrent_crashes,
+        }
+
+
+@dataclass
+class ChaosRunner:
+    """Stateful applier of a schedule's crash trace to a live cluster.
+
+    Synchronous campaigns poll :meth:`advance_to` as their virtual clock
+    moves; every crash/recover event with ``time <= now`` is applied once,
+    in order.  Events targeting servers already in the desired state are
+    skipped (a crash may race a repair that already replaced the server).
+    """
+
+    schedule: ChaosSchedule
+    _timeline: list[tuple[float, str, int]] = field(init=False)
+    _cursor: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        timeline: list[tuple[float, str, int]] = []
+        for ev in self.schedule.crashes:
+            timeline.append((ev.time, "crash", ev.server_id))
+            if ev.recover_at is not None:
+                timeline.append((ev.recover_at, "recover", ev.server_id))
+        timeline.sort()
+        self._timeline = timeline
+        self.applied: list[tuple[float, str, int]] = []
+
+    def advance_to(self, cluster: Cluster, now: float) -> list[tuple[float, str, int]]:
+        """Apply all due events; returns the ones that took effect."""
+        fired: list[tuple[float, str, int]] = []
+        while self._cursor < len(self._timeline) and self._timeline[self._cursor][0] <= now:
+            t, kind, sid = self._timeline[self._cursor]
+            self._cursor += 1
+            srv = cluster.server(sid)
+            if kind == "crash" and not srv.failed:
+                cluster.fail(sid)
+            elif kind == "recover" and srv.failed:
+                cluster.recover(sid)
+            else:
+                continue
+            fired.append((t, kind, sid))
+        self.applied.extend(fired)
+        return fired
+
+    @property
+    def pending(self) -> int:
+        return len(self._timeline) - self._cursor
+
+
+def generate_schedule(
+    server_ids,
+    seed: int,
+    *,
+    horizon: float = 30.0,
+    mtbf: float = 60.0,
+    mttr: float | None = 10.0,
+    max_concurrent_crashes: int = 1,
+    flaky_servers: int = 1,
+    flaky_error_rate: float = 0.85,
+    gray_servers: int = 1,
+    gray_latency: float = 0.08,
+    error_rate: float = 0.08,
+    spike_rate: float = 0.05,
+    spike_latency: float = 0.06,
+    corruption_rate: float = 0.02,
+) -> ChaosSchedule:
+    """Derive one schedule from a seed.
+
+    The background rates apply cluster-wide for the whole horizon; on top,
+    ``flaky_servers`` random servers get a high-error window (the burst
+    that trips circuit breakers) and ``gray_servers`` get an up-but-slow
+    window (the hedging trigger).  Windows land in the middle half of the
+    horizon so campaigns see clean, faulty, and recovered phases.
+    """
+    server_ids = list(server_ids)
+    rng = random.Random(seed)
+    crashes = bound_concurrent_crashes(
+        poisson_failure_trace(server_ids, horizon, mtbf, seed=rng.randrange(1 << 30), mttr=mttr),
+        max_concurrent_crashes,
+    )
+
+    components: list[FaultComponent] = []
+    if error_rate:
+        components.append(TransientErrors(rate=error_rate))
+    if spike_rate:
+        components.append(LatencySpikes(rate=spike_rate, latency=spike_latency))
+    if corruption_rate:
+        components.append(SilentCorruption(rate=corruption_rate))
+
+    targets = rng.sample(server_ids, min(len(server_ids), flaky_servers + gray_servers))
+    for sid in targets[:flaky_servers]:
+        start = rng.uniform(0.1 * horizon, 0.4 * horizon)
+        components.append(
+            TransientErrors(
+                rate=flaky_error_rate,
+                servers=frozenset({sid}),
+                start=start,
+                until=start + rng.uniform(0.2 * horizon, 0.4 * horizon),
+            )
+        )
+    for sid in targets[flaky_servers:]:
+        start = rng.uniform(0.1 * horizon, 0.4 * horizon)
+        components.append(
+            GraySlowdown(
+                extra_latency=gray_latency,
+                servers=frozenset({sid}),
+                start=start,
+                until=start + rng.uniform(0.2 * horizon, 0.4 * horizon),
+            )
+        )
+
+    return ChaosSchedule(
+        seed=seed,
+        horizon=horizon,
+        crashes=tuple(crashes),
+        components=tuple(components),
+        max_concurrent_crashes=max_concurrent_crashes,
+    )
+
+
+def generate_schedules(server_ids, count: int, base_seed: int = 0, **kwargs) -> list[ChaosSchedule]:
+    """``count`` schedules with consecutive derived seeds."""
+    return [generate_schedule(server_ids, base_seed + i, **kwargs) for i in range(count)]

@@ -9,7 +9,7 @@ from repro.mapreduce.records import (
     WholeSplitReader,
 )
 from repro.mapreduce.runtime import CostModel, MapReduceRuntime
-from repro.mapreduce.scheduler import Assignment, LocalityScheduler, ScheduledTask
+from repro.mapreduce.scheduler import Assignment, LocalityScheduler, ScheduledTask, SchedulingError
 from repro.mapreduce import workloads
 
 __all__ = [
@@ -29,5 +29,6 @@ __all__ = [
     "Assignment",
     "LocalityScheduler",
     "ScheduledTask",
+    "SchedulingError",
     "workloads",
 ]

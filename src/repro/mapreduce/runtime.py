@@ -98,6 +98,7 @@ class MapReduceRuntime:
             self.allow_remote,
             self.locality_delay,
             self.speculative,
+            health=getattr(self.dfs, "health", None),
         )
         scheduler.run_phase(tasks)
         # With speculative execution a task may run twice; only the

@@ -7,6 +7,14 @@ a pending task whose own server is saturated or dead, paying a network
 read for the split — Hadoop's non-local scheduling.  The whole phase runs
 on the deterministic event engine, so identical inputs produce identical
 schedules.
+
+The scheduler is failure- and health-aware: a
+:class:`~repro.storage.health.HealthMonitor` (optional) steers placement
+away from servers with open circuit breakers — their pending tasks are
+immediately stealable, and they never steal remote work — and
+:meth:`LocalityScheduler.handle_server_failure` re-queues the attempts a
+crashed server was running, capped per task before the task fails
+terminally.
 """
 
 from __future__ import annotations
@@ -16,6 +24,10 @@ from dataclasses import dataclass
 
 from repro.cluster.topology import Cluster
 from repro.sim.engine import Simulation
+
+
+class SchedulingError(RuntimeError):
+    """Raised when tasks cannot complete (stranded or retries exhausted)."""
 
 
 @dataclass
@@ -40,6 +52,9 @@ class Assignment:
     finish: float
     local: bool
     speculative: bool = False
+    #: Set when the attempt's server crashed before the finish time; a
+    #: failed attempt never counts as the task's completion.
+    failed: bool = False
 
 
 class LocalityScheduler:
@@ -53,6 +68,8 @@ class LocalityScheduler:
         allow_remote: bool = True,
         locality_delay: float = 0.0,
         speculative: bool = False,
+        health=None,
+        max_task_retries: int = 2,
     ):
         """Args:
             sim: event engine the phase runs on.
@@ -68,49 +85,128 @@ class LocalityScheduler:
                 servers (Hadoop's speculative execution).  A task
                 completes at its earliest attempt's finish; the duplicate
                 attempt's work is wasted, which the runtime reports.
+            health: optional :class:`~repro.storage.health.HealthMonitor`;
+                breaker-open servers neither steal remote tasks nor pin
+                their own pending tasks to locality.
+            max_task_retries: re-queues one task survives (after server
+                failures) before it fails terminally.
         """
         self.sim = sim
         self.cluster = cluster
         self.allow_remote = allow_remote
         self.locality_delay = locality_delay
         self.speculative = speculative
+        self.health = health
+        self.max_task_retries = max_task_retries
         self._slots = {s.server_id: getattr(s, slots_attr) for s in cluster.alive()}
         self._pending: list[ScheduledTask] = []
         self.assignments: list[Assignment] = []
         self._phase_start = 0.0
         self._retry_scheduled: set[int] = set()
         self._attempts: dict[str, list[Assignment]] = {}
+        self.task_retries: dict[str, int] = {}
+        self.failed_tasks: list[ScheduledTask] = []
 
-    def run_phase(self, tasks: list[ScheduledTask]) -> list[Assignment]:
-        """Run all tasks to completion; returns their assignments."""
-        # Large tasks first within each server's queue, like Hadoop's
-        # split-size-descending task ordering.
-        self._pending = sorted(tasks, key=lambda t: -t.input_bytes)
+    def reset(self) -> None:
+        """Clear per-phase bookkeeping (retry state, attempts, failures)."""
+        self._pending = []
         self.assignments = []
         self._attempts = {}
+        self._retry_scheduled.clear()
+        self.task_retries = {}
+        self.failed_tasks = []
+
+    def run_phase(self, tasks: list[ScheduledTask]) -> list[Assignment]:
+        """Run all tasks to completion; returns their assignments.
+
+        Raises:
+            SchedulingError: tasks stranded without a live server, or a
+                task exhausted its retry budget after server failures.
+        """
+        # Large tasks first within each server's queue, like Hadoop's
+        # split-size-descending task ordering.
+        self.reset()
+        self._pending = sorted(tasks, key=lambda t: -t.input_bytes)
         self._phase_start = self.sim.now
-        self._retry_scheduled = set()
-        for sid in list(self._slots):
+        for sid in self._dispatch_order():
             self._dispatch(sid)
         self.sim.run()
         if self._pending:
             stranded = [t.task_id for t in self._pending]
-            raise RuntimeError(f"tasks could not be scheduled: {stranded}")
+            raise SchedulingError(f"tasks could not be scheduled: {stranded}")
+        if self.failed_tasks:
+            failed = [t.task_id for t in self.failed_tasks]
+            raise SchedulingError(
+                f"tasks failed terminally after {self.max_task_retries} retries: {failed}"
+            )
         return self.assignments
 
     def effective_assignments(self) -> dict[str, Assignment]:
-        """Winning attempt per task (the earliest finish)."""
-        return {
-            tid: min(attempts, key=lambda a: a.finish)
-            for tid, attempts in self._attempts.items()
-        }
+        """Winning attempt per task (the earliest non-failed finish)."""
+        out: dict[str, Assignment] = {}
+        for tid, attempts in self._attempts.items():
+            live = [a for a in attempts if not a.failed]
+            if live:
+                out[tid] = min(live, key=lambda a: a.finish)
+        return out
 
     @property
     def speculative_copies(self) -> int:
         """Backup attempts launched (their work is wasted when they lose)."""
         return sum(len(a) - 1 for a in self._attempts.values())
 
+    # ------------------------------------------------------------- failures
+
+    def handle_server_failure(self, server_id: int) -> list[str]:
+        """A server crashed mid-phase: re-queue what it was running.
+
+        Its slots are withdrawn, in-flight attempts on it are marked
+        failed, and each affected task is re-queued unless another live
+        attempt (a speculative copy) is still running or its retry budget
+        is exhausted — then it lands in :attr:`failed_tasks` terminally.
+
+        Returns the task ids re-queued.
+        """
+        self._slots.pop(server_id, None)
+        self._retry_scheduled.discard(server_id)
+        now = self.sim.now
+        requeued: list[str] = []
+        for a in self.assignments:
+            if a.server != server_id or a.failed or a.finish <= now:
+                continue
+            a.failed = True
+            others = [
+                x
+                for x in self._attempts.get(a.task.task_id, [])
+                if x is not a and not x.failed and x.finish > now
+            ]
+            done = any(x.finish <= now for x in self._attempts.get(a.task.task_id, []) if not x.failed)
+            if others or done:
+                continue  # a speculative twin survives, or it already finished
+            retries = self.task_retries.get(a.task.task_id, 0) + 1
+            self.task_retries[a.task.task_id] = retries
+            if retries > self.max_task_retries:
+                self.failed_tasks.append(a.task)
+                continue
+            self._pending.append(a.task)
+            requeued.append(a.task.task_id)
+        if requeued:
+            self._pending.sort(key=lambda t: -t.input_bytes)
+            for sid in self._dispatch_order():
+                self._dispatch(sid)
+        return requeued
+
     # ----------------------------------------------------------- internals
+
+    def _dispatch_order(self) -> list[int]:
+        """Live servers, healthiest first when a monitor is wired."""
+        sids = list(self._slots)
+        if self.health is None:
+            return sids
+        return self.health.rank(sids)
+
+    def _breaker_open(self, server_id: int) -> bool:
+        return self.health is not None and self.health.is_open(server_id)
 
     def _dispatch(self, server_id: int) -> None:
         while self._slots.get(server_id, 0) > 0:
@@ -149,9 +245,10 @@ class LocalityScheduler:
         best: Assignment | None = None
         best_gain = 0.0
         for tid, attempts in self._attempts.items():
-            if len(attempts) > 1:
-                continue  # one backup max, like Hadoop
-            primary = attempts[0]
+            live = [a for a in attempts if not a.failed]
+            if len(live) != 1 or len(attempts) > len(live):
+                continue  # one backup max, like Hadoop; failed attempts burn it
+            primary = live[0]
             if primary.finish <= now or primary.server == server_id:
                 continue
             new_finish = now + primary.task.duration_fn(server_id, False)
@@ -163,6 +260,8 @@ class LocalityScheduler:
         return best.task, False
 
     def _complete(self, server_id: int) -> None:
+        if server_id not in self._slots:
+            return  # the server failed mid-task; its attempt was re-queued
         self._slots[server_id] += 1
         self._dispatch(server_id)
         # A freed slot may also unblock stealing elsewhere — but stealing
@@ -172,12 +271,18 @@ class LocalityScheduler:
         for task in self._pending:
             if task.preferred_server == server_id:
                 return task, True
-        if not self.allow_remote:
+        if not self.allow_remote or self._breaker_open(server_id):
+            # A distrusted server keeps serving its local data but does
+            # not pull extra remote work onto a failing disk.
             return None, False
         waited = self.sim.now - self._phase_start
         for task in self._pending:
             owner = task.preferred_server
-            owner_dead = owner not in self._slots or self.cluster.server(owner).failed
+            owner_dead = (
+                owner not in self._slots
+                or self.cluster.server(owner).failed
+                or self._breaker_open(owner)
+            )
             if owner_dead:
                 return task, False  # waiting cannot make this task local
             if self._slots.get(owner, 0) == 0 and waited >= self.locality_delay:
@@ -185,15 +290,21 @@ class LocalityScheduler:
         return None, False
 
     def _maybe_schedule_retry(self, server_id: int) -> None:
-        """Re-dispatch once the locality-delay window expires."""
+        """Re-dispatch once the locality-delay window expires.
+
+        The pending marker is dropped when the retry fires, so the server
+        can re-arm a retry in a later wait window instead of leaking an
+        entry for the rest of the phase.
+        """
         if not self.allow_remote or not self._pending:
             return
         remaining = self._phase_start + self.locality_delay - self.sim.now
         if remaining <= 0 or server_id in self._retry_scheduled:
             return
         self._retry_scheduled.add(server_id)
-        self.sim.schedule(
-            remaining,
-            lambda sid=server_id: self._dispatch(sid),
-            name=f"locality-delay:{server_id}",
-        )
+
+        def fire(sid=server_id) -> None:
+            self._retry_scheduled.discard(sid)
+            self._dispatch(sid)
+
+        self.sim.schedule(remaining, fire, name=f"locality-delay:{server_id}")

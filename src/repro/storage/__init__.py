@@ -1,10 +1,17 @@
-"""Distributed storage system: block stores, DFS namespace, repair."""
+"""Distributed storage system: block stores, DFS namespace, repair, resilience."""
 
-from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError
+from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError, TransientReadError
 from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSystemError
+from repro.storage.health import CLOSED, HALF_OPEN, OPEN, HealthMonitor, ServerHealth
 from repro.storage.metrics import Counter, MetricsRegistry
-from repro.storage.repair import RepairManager, RepairReport, ServerRepairReport
+from repro.storage.repair import (
+    RepairAdmissionController,
+    RepairManager,
+    RepairReport,
+    ServerRepairReport,
+)
 from repro.storage.recovery import RecoveryOutcome, simulate_server_recovery
+from repro.storage.resilient import ResilientBlockClient, RetryPolicy
 from repro.storage.scrub import ScrubReport, Scrubber
 from repro.storage.striped import StripedFileMeta, StripedFileSystem, StripedInputFormat
 
@@ -12,16 +19,25 @@ __all__ = [
     "BlockStore",
     "BlockUnavailableError",
     "StorageError",
+    "TransientReadError",
     "DistributedFileSystem",
     "EncodedFile",
     "FileSystemError",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "HealthMonitor",
+    "ServerHealth",
     "Counter",
     "MetricsRegistry",
+    "RepairAdmissionController",
     "RepairManager",
     "RepairReport",
     "ServerRepairReport",
     "RecoveryOutcome",
     "simulate_server_recovery",
+    "ResilientBlockClient",
+    "RetryPolicy",
     "ScrubReport",
     "Scrubber",
     "StripedFileMeta",

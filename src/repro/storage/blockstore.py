@@ -4,6 +4,14 @@ Blocks are stored as ``(N, S)`` symbol arrays keyed by ``(file, block)``.
 Every access checks the owning server's crash state and feeds the metrics
 registry — reads from a failed server raise, which is what forces the
 degraded-read and repair paths above this layer to do their job.
+
+A :class:`~repro.faults.model.FaultModel` can be installed via
+:meth:`BlockStore.install_faults`; every read then samples a fault
+decision and may raise :class:`TransientReadError`, return silently
+corrupted data, or take longer.  The ``timed_*`` read variants report the
+simulated latency (base disk transfer time plus injected delay) and can
+verify returned payloads against write-time checksums, turning silent
+corruption into a retryable error for the resilient client above.
 """
 
 from __future__ import annotations
@@ -21,7 +29,50 @@ class StorageError(RuntimeError):
 
 
 class BlockUnavailableError(StorageError):
-    """Raised when a block's server is down or the block does not exist."""
+    """Raised when a block cannot be read.
+
+    Attributes:
+        server: server id the read targeted (``None`` if unknown).
+        file: file name of the block, when the failure is block-scoped.
+        block: block id, when the failure is block-scoped.
+        cause: machine-readable reason — ``"server_down"``,
+            ``"missing"``, ``"transient"``, ``"checksum"``,
+            ``"breaker_open"``, ``"retries_exhausted"`` — so retry loops
+            and chaos logs can branch on it instead of string-matching
+            messages.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        server: int | None = None,
+        file: str | None = None,
+        block: int | None = None,
+        cause: str | None = None,
+    ):
+        super().__init__(message)
+        self.server = server
+        self.file = file
+        self.block = block
+        self.cause = cause
+
+    def context(self) -> dict:
+        """The structured fields, for logs and campaign records."""
+        return {"server": self.server, "file": self.file, "block": self.block, "cause": self.cause}
+
+
+class TransientReadError(BlockUnavailableError):
+    """A retryable read failure (injected I/O error or checksum mismatch).
+
+    Subclasses :class:`BlockUnavailableError` so un-wrapped callers still
+    degrade correctly; the resilient client catches it specifically and
+    retries with backoff instead of falling straight to decode.
+    """
+
+    def __init__(self, message: str, **kwargs):
+        kwargs.setdefault("cause", "transient")
+        super().__init__(message, **kwargs)
 
 
 class BlockStore:
@@ -40,6 +91,21 @@ class BlockStore:
         self._checksums: dict[int, dict[tuple[str, int], int]] = {
             s.server_id: {} for s in cluster
         }
+        # Per-stripe-row CRCs, so partial reads can be verified too (the
+        # analog of HDFS's per-chunk checksum file).
+        self._row_checksums: dict[int, dict[tuple[str, int], list[int]]] = {
+            s.server_id: {} for s in cluster
+        }
+        # Fault-injection hook: a FaultModel plus the clock that scopes
+        # its time-windowed components.  None = clean hardware.
+        self.fault_model = None
+        self.clock = None
+
+    def install_faults(self, model, clock=None) -> None:
+        """Attach a :class:`~repro.faults.model.FaultModel` to every read."""
+        self.fault_model = model
+        if clock is not None:
+            self.clock = clock
 
     def _disk(self, server_id: int) -> dict:
         try:
@@ -47,52 +113,161 @@ class BlockStore:
         except KeyError:
             raise StorageError(f"no server {server_id}") from None
 
-    def put(self, server_id: int, file_name: str, block_id: int, payload: np.ndarray) -> None:
-        """Write one block to a server's disk."""
+    def _check_up(self, server_id: int, file_name: str | None = None, block_id: int | None = None) -> None:
         if self.cluster.server(server_id).failed:
-            raise BlockUnavailableError(f"server {server_id} is down; cannot write")
-        payload = np.asarray(payload)
-        self._disk(server_id)[(file_name, block_id)] = payload
-        self._checksums[server_id][(file_name, block_id)] = zlib.crc32(payload.tobytes())
-        self.metrics.add("disk_bytes_written", payload.nbytes, server_id)
-        self.metrics.add("blocks_written", 1, server_id)
+            raise BlockUnavailableError(
+                f"server {server_id} is down",
+                server=server_id,
+                file=file_name,
+                block=block_id,
+                cause="server_down",
+            )
 
-    def get(self, server_id: int, file_name: str, block_id: int, fraction: float = 1.0) -> np.ndarray:
-        """Read one block (or a leading fraction of it) from a server.
-
-        Raises:
-            BlockUnavailableError: server down or block missing.
-        """
-        if self.cluster.server(server_id).failed:
-            raise BlockUnavailableError(f"server {server_id} is down")
+    def _stored(self, server_id: int, file_name: str, block_id: int) -> np.ndarray:
         disk = self._disk(server_id)
         key = (file_name, block_id)
         if key not in disk:
-            raise BlockUnavailableError(f"block {key} not on server {server_id}")
-        block = disk[key]
+            raise BlockUnavailableError(
+                f"block {key} not on server {server_id}",
+                server=server_id,
+                file=file_name,
+                block=block_id,
+                cause="missing",
+            )
+        return disk[key]
+
+    def put(self, server_id: int, file_name: str, block_id: int, payload: np.ndarray) -> None:
+        """Write one block to a server's disk."""
+        if self.cluster.server(server_id).failed:
+            raise BlockUnavailableError(
+                f"server {server_id} is down; cannot write",
+                server=server_id,
+                file=file_name,
+                block=block_id,
+                cause="server_down",
+            )
+        payload = np.asarray(payload)
+        key = (file_name, block_id)
+        self._disk(server_id)[key] = payload
+        self._checksums[server_id][key] = zlib.crc32(payload.tobytes())
+        rows = payload if payload.ndim == 2 else payload.reshape(1, -1)
+        self._row_checksums[server_id][key] = [zlib.crc32(r.tobytes()) for r in rows]
+        self.metrics.add("disk_bytes_written", payload.nbytes, server_id)
+        self.metrics.add("blocks_written", 1, server_id)
+
+    # ------------------------------------------------------------ fault path
+
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def _faulted(self, server_id: int, file_name: str, block_id: int, view: np.ndarray, nbytes: int):
+        """Apply the fault model to one read; returns ``(data, latency)``.
+
+        ``nbytes`` is the byte count actually transferred (it may be a
+        fraction of ``view``); latency and fault sampling are charged on
+        it, corruption applies to the returned data.
+        """
+        latency = nbytes / self.cluster.server(server_id).disk_bandwidth
+        if self.fault_model is None:
+            return view, latency
+        decision = self.fault_model.on_read(server_id, nbytes, self._now())
+        latency += decision.extra_latency
+        if decision.error:
+            self.metrics.add("transient_read_errors", 1, server_id)
+            raise TransientReadError(
+                f"transient read error on server {server_id} for block ({file_name!r}, {block_id})",
+                server=server_id,
+                file=file_name,
+                block=block_id,
+            )
+        if decision.corrupt:
+            self.metrics.add("corrupted_returns", 1, server_id)
+            view = view.copy()
+            raw = view.reshape(-1).view(np.uint8)
+            raw[0] ^= 0xFF
+        return view, latency
+
+    # ------------------------------------------------------------- read path
+
+    def timed_get(
+        self, server_id: int, file_name: str, block_id: int, fraction: float = 1.0, verify: bool = False
+    ) -> tuple[np.ndarray, float]:
+        """Read one block; returns ``(data, simulated latency seconds)``.
+
+        With ``verify=True`` the returned payload is checked against the
+        write-time CRC; a mismatch raises :class:`TransientReadError`
+        (``cause="checksum"``) since a retry will read the intact copy.
+        """
+        self._check_up(server_id, file_name, block_id)
+        block = self._stored(server_id, file_name, block_id)
         if not 0 < fraction <= 1.0:
             raise StorageError(f"invalid read fraction {fraction}")
         nrows = max(1, round(block.shape[0] * fraction)) if block.ndim == 2 else block.shape[0]
         view = block[:nrows] if fraction < 1.0 else block
         self.metrics.add("disk_bytes_read", view.nbytes, server_id)
         self.metrics.add("blocks_read", 1, server_id)
-        return block  # full content returned; accounting reflects the fraction
+        # Full content returned; accounting reflects the fraction.
+        data, latency = self._faulted(server_id, file_name, block_id, block, view.nbytes)
+        self.metrics.add("read_latency", latency, server_id)
+        if verify and fraction == 1.0:
+            expect = self._checksums[server_id][(file_name, block_id)]
+            if zlib.crc32(np.asarray(data).tobytes()) != expect:
+                self.metrics.add("checksum_failures", 1, server_id)
+                raise TransientReadError(
+                    f"checksum mismatch reading block ({file_name!r}, {block_id}) from server {server_id}",
+                    server=server_id,
+                    file=file_name,
+                    block=block_id,
+                    cause="checksum",
+                )
+        return data, latency
 
-    def read_rows(self, server_id: int, file_name: str, block_id: int, start: int, count: int) -> np.ndarray:
-        """Read ``count`` stripes starting at ``start`` from one block."""
-        if self.cluster.server(server_id).failed:
-            raise BlockUnavailableError(f"server {server_id} is down")
-        disk = self._disk(server_id)
-        key = (file_name, block_id)
-        if key not in disk:
-            raise BlockUnavailableError(f"block {key} not on server {server_id}")
-        block = disk[key]
+    def get(self, server_id: int, file_name: str, block_id: int, fraction: float = 1.0) -> np.ndarray:
+        """Read one block (or a leading fraction of it) from a server.
+
+        Raises:
+            BlockUnavailableError: server down or block missing.
+            TransientReadError: injected retryable failure.
+        """
+        data, _ = self.timed_get(server_id, file_name, block_id, fraction)
+        return data
+
+    def timed_read_rows(
+        self, server_id: int, file_name: str, block_id: int, start: int, count: int, verify: bool = False
+    ) -> tuple[np.ndarray, float]:
+        """Read ``count`` stripes starting at ``start``; returns ``(rows, latency)``.
+
+        ``verify=True`` checks each returned stripe against its per-row
+        write-time CRC (the HDFS per-chunk checksum analog).
+        """
+        self._check_up(server_id, file_name, block_id)
+        block = self._stored(server_id, file_name, block_id)
         if start < 0 or start + count > block.shape[0]:
             raise StorageError(f"stripe range [{start}, {start+count}) outside block of {block.shape[0]}")
         view = block[start : start + count]
         self.metrics.add("disk_bytes_read", view.nbytes, server_id)
         self.metrics.add("blocks_read", 1 if count else 0, server_id)
-        return view
+        data, latency = self._faulted(server_id, file_name, block_id, view, view.nbytes)
+        self.metrics.add("read_latency", latency, server_id)
+        if verify:
+            row_crcs = self._row_checksums[server_id][(file_name, block_id)]
+            for i, row in enumerate(np.asarray(data).reshape(count, -1) if count else []):
+                if zlib.crc32(row.tobytes()) != row_crcs[start + i]:
+                    self.metrics.add("checksum_failures", 1, server_id)
+                    raise TransientReadError(
+                        f"checksum mismatch on stripe {start + i} of block "
+                        f"({file_name!r}, {block_id}) from server {server_id}",
+                        server=server_id,
+                        file=file_name,
+                        block=block_id,
+                        cause="checksum",
+                    )
+        return data, latency
+
+    def read_rows(self, server_id: int, file_name: str, block_id: int, start: int, count: int) -> np.ndarray:
+        """Read ``count`` stripes starting at ``start`` from one block."""
+        data, _ = self.timed_read_rows(server_id, file_name, block_id, start, count)
+        return data
 
     def verify(self, server_id: int, file_name: str, block_id: int) -> bool:
         """Check a stored block against its write-time checksum.
@@ -100,18 +275,14 @@ class BlockStore:
         Returns False on mismatch (silent corruption).  Raises
         :class:`BlockUnavailableError` when the block cannot be read at
         all.  The scan is charged to disk-read accounting, as a real
-        scrubber's would be.
+        scrubber's would be.  The fault model is bypassed: scrubbing
+        compares what is *on disk*, not what a flaky transfer returns.
         """
-        if self.cluster.server(server_id).failed:
-            raise BlockUnavailableError(f"server {server_id} is down")
-        disk = self._disk(server_id)
-        key = (file_name, block_id)
-        if key not in disk:
-            raise BlockUnavailableError(f"block {key} not on server {server_id}")
-        block = disk[key]
+        self._check_up(server_id, file_name, block_id)
+        block = self._stored(server_id, file_name, block_id)
         self.metrics.add("disk_bytes_read", block.nbytes, server_id)
         self.metrics.add("scrub_bytes", block.nbytes, server_id)
-        return zlib.crc32(block.tobytes()) == self._checksums[server_id][key]
+        return zlib.crc32(block.tobytes()) == self._checksums[server_id][(file_name, block_id)]
 
     def corrupt(self, server_id: int, file_name: str, block_id: int, offset: int = 0) -> None:
         """Flip one byte of a stored block *without* updating the checksum.
@@ -131,6 +302,7 @@ class BlockStore:
         """Remove a block (post-repair cleanup or deliberate loss)."""
         self._disk(server_id).pop((file_name, block_id), None)
         self._checksums[server_id].pop((file_name, block_id), None)
+        self._row_checksums[server_id].pop((file_name, block_id), None)
 
     def drop_server(self, server_id: int) -> int:
         """Wipe a server's disk (permanent failure); returns blocks lost."""
@@ -138,6 +310,7 @@ class BlockStore:
         lost = len(disk)
         disk.clear()
         self._checksums[server_id].clear()
+        self._row_checksums[server_id].clear()
         return lost
 
     def blocks_on(self, server_id: int) -> list[tuple[str, int]]:

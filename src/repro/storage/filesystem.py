@@ -22,13 +22,41 @@ import numpy as np
 
 from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
 from repro.cluster.topology import Cluster
-from repro.codes.base import ErasureCode
+from repro.codes.base import DecodingError, ErasureCode
+from repro.faults.clock import VirtualClock
 from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError
+from repro.storage.health import HealthMonitor
 from repro.storage.metrics import MetricsRegistry
+from repro.storage.resilient import ResilientBlockClient, RetryPolicy
 
 
 class FileSystemError(StorageError):
-    """Raised on namespace-level failures."""
+    """Raised on namespace-level failures.
+
+    Attributes:
+        file / block / server: scope of the failure, when known.
+        cause: machine-readable reason (e.g. ``"undecodable"``,
+            ``"no_target"``), mirroring
+        :class:`~repro.storage.blockstore.BlockUnavailableError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: str | None = None,
+        block: int | None = None,
+        server: int | None = None,
+        cause: str | None = None,
+    ):
+        super().__init__(message)
+        self.file = file
+        self.block = block
+        self.server = server
+        self.cause = cause
+
+    def context(self) -> dict:
+        return {"file": self.file, "block": self.block, "server": self.server, "cause": self.cause}
 
 
 @dataclass
@@ -76,12 +104,48 @@ class EncodedFile:
 
 
 class DistributedFileSystem:
-    """Files encoded over a cluster's block stores."""
+    """Files encoded over a cluster's block stores.
 
-    def __init__(self, cluster: Cluster, metrics: MetricsRegistry | None = None):
+    Reads go through a :class:`~repro.storage.resilient.ResilientBlockClient`
+    (checksum verification, retry with backoff, hedging, circuit-breaker
+    fast-fail) feeding a per-server :class:`~repro.storage.health.HealthMonitor`.
+    On clean hardware (no ``fault_model``) the resilient path is
+    behaviour-identical to a direct store read.
+
+    Args:
+        cluster: servers to spread blocks over.
+        metrics: shared accounting registry.
+        fault_model: optional :class:`~repro.faults.model.FaultModel`
+            installed on the block store.
+        clock: time source for latency accounting, backoff and breaker
+            timeouts (default: a fresh virtual clock).
+        health: share a monitor across components; default builds one.
+        retry_policy: knobs for the resilient client.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        metrics: MetricsRegistry | None = None,
+        *,
+        fault_model=None,
+        clock=None,
+        health: HealthMonitor | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ):
         self.cluster = cluster
         self.metrics = metrics or MetricsRegistry()
+        self.clock = clock or VirtualClock()
         self.store = BlockStore(cluster, self.metrics)
+        self.store.install_faults(fault_model, self.clock)
+        self.health = health or HealthMonitor(self.clock, metrics=self.metrics)
+        self.client = ResilientBlockClient(
+            self.store,
+            health=self.health,
+            policy=retry_policy,
+            clock=self.clock,
+            metrics=self.metrics,
+        )
         self.files: dict[str, EncodedFile] = {}
         # Cache of (file stripe -> (block, row)) maps, built lazily.
         self._stripe_maps: dict[str, dict[int, tuple[int, int]]] = {}
@@ -227,7 +291,7 @@ class DistributedFileSystem:
             block, row = holder
             server = ef.server_of(block)
             try:
-                out[fs] = self.store.read_rows(server, ef.name, block, row, 1)[0]
+                out[fs] = self.client.read_rows(server, ef.name, block, row, 1)[0]
             except BlockUnavailableError:
                 missing.append(fs)
         if missing:
@@ -239,8 +303,12 @@ class DistributedFileSystem:
         """Decode the full stripe grid from a *minimal* set of survivors.
 
         Reading every surviving block would work but wastes disk I/O;
-        instead blocks are added greedily — data-heavy blocks first —
-        until the subset decodes, and only those are read.
+        instead blocks are added greedily — data-heavy blocks first,
+        healthier servers breaking ties — until the subset decodes, and
+        only those are read.  A survivor that fails mid-read (transient
+        faults exhaust the client's retries, or its server crashes
+        between planning and reading) is excluded and the selection
+        re-planned, so degraded reads survive flaky helpers.
         """
         self.metrics.add("degraded_reads", 1)
         code = ef.code
@@ -248,19 +316,43 @@ class DistributedFileSystem:
         for b, server in ef.placement.items():
             if not self.cluster.server(server).failed and self.store.holds(server, ef.name, b):
                 reachable.append(b)
-        # Prefer blocks carrying the most original data (their rows are
-        # identity rows: cheap to eliminate, and they short-circuit the
-        # rank growth), break ties by index for determinism.
-        reachable.sort(key=lambda b: (-code.block_infos[b].data_stripes, b))
-        chosen: list[int] = []
-        for b in reachable:
-            chosen.append(b)
-            if len(chosen) >= code.k and code.can_decode(chosen):
-                break
-        available = {
-            b: self.store.get(ef.server_of(b), ef.name, b) for b in chosen
-        }
-        return code.decode(available)
+        excluded: set[int] = set()
+        while True:
+            # Prefer blocks carrying the most original data (their rows
+            # are identity rows: cheap to eliminate, and they
+            # short-circuit the rank growth); among equals take the
+            # statistically healthiest server, then index for determinism.
+            candidates = sorted(
+                (b for b in reachable if b not in excluded),
+                key=lambda b: (
+                    -code.block_infos[b].data_stripes,
+                    self.health.score(ef.server_of(b)),
+                    b,
+                ),
+            )
+            chosen: list[int] = []
+            for b in candidates:
+                chosen.append(b)
+                if len(chosen) >= code.k and code.can_decode(chosen):
+                    break
+            else:
+                raise DecodingError(
+                    f"cannot decode {ef.name!r}: surviving blocks {sorted(candidates)} "
+                    f"(after excluding {sorted(excluded)}) do not determine the data"
+                )
+            available: dict[int, np.ndarray] = {}
+            failed_block: int | None = None
+            for b in chosen:
+                try:
+                    available[b] = self.client.get(ef.server_of(b), ef.name, b)
+                except BlockUnavailableError:
+                    failed_block = b
+                    break
+            if failed_block is not None:
+                excluded.add(failed_block)
+                self.metrics.add("decode_replans", 1)
+                continue
+            return code.decode(available)
 
     def read_stripes(self, name: str, start: int, count: int) -> np.ndarray:
         """Read ``count`` file stripes starting at ``start``.
@@ -292,7 +384,7 @@ class DistributedFileSystem:
         for block, row0, out0, nrows in runs:
             server = ef.server_of(block)
             try:
-                out[out0 : out0 + nrows] = self.store.read_rows(server, name, block, row0, nrows)
+                out[out0 : out0 + nrows] = self.client.read_rows(server, name, block, row0, nrows)
             except BlockUnavailableError:
                 if decoded is None:
                     decoded = self._degraded_decode(ef)

@@ -34,6 +34,18 @@ class MetricsRegistry:
     * ``blocks_read`` / ``blocks_written``
     * ``network_bytes``
     * ``degraded_reads`` / ``reconstructions``
+
+    Resilience counters (see ``docs/ROBUSTNESS.md``):
+
+    * ``retries`` / ``read_timeouts`` — resilient-client retry loop
+    * ``hedged_reads`` / ``hedged_wins`` — speculative second reads
+    * ``breaker_opens`` / ``breaker_closes`` / ``breaker_fastfails``
+    * ``transient_read_errors`` / ``checksum_failures`` /
+      ``corrupted_returns`` — injected faults observed at the store
+    * ``read_latency`` — cumulative simulated read seconds
+    * ``decode_replans`` / ``repair_replans`` — fallback re-planning
+    * ``repairs_throttled`` / ``blocks_quarantined`` — admission control
+      and scrubber quarantine
     """
 
     def __init__(self):

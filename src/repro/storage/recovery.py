@@ -19,6 +19,7 @@ the quantity that drives the MTTDL difference measured in
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.codes.base import ErasureCode
@@ -38,12 +39,15 @@ class RecoveryOutcome:
         bytes_read: total helper bytes read.
         bytes_read_by_server: per-helper-server read volume.
         max_server_load: largest per-server read volume (the hotspot).
+        repairs_throttled: helper reads deferred by admission control
+            (0 when the storm runs unthrottled).
     """
 
     makespan: float
     repair_times: list[float] = field(default_factory=list)
     bytes_read: int = 0
     bytes_read_by_server: dict[int, int] = field(default_factory=dict)
+    repairs_throttled: int = 0
 
     @property
     def max_server_load(self) -> int:
@@ -61,6 +65,7 @@ def simulate_server_recovery(
     block_bytes: int = 64 * MB,
     disk_bandwidth: float = 100 * MB,
     seed: int = 0,
+    max_repair_reads_per_server: int | None = None,
 ) -> RecoveryOutcome:
     """Simulate rebuilding ``lost_blocks`` stripes after one server failure.
 
@@ -69,6 +74,12 @@ def simulate_server_recovery(
     blocks sit on ``code.n - 1`` distinct servers sampled from the
     ``num_servers - 1`` survivors.  Rebuilt blocks are written round-robin
     across the survivors.
+
+    ``max_repair_reads_per_server`` enables admission control: at most
+    that many repair reads may be queued on one server's disk at a time;
+    excess reads wait their turn (counted in ``repairs_throttled``), so a
+    storm leaves disk time for foreground traffic instead of burying
+    every spindle under the full repair backlog at t=0.
 
     Returns the storm's timing and load profile.
     """
@@ -82,6 +93,27 @@ def simulate_server_recovery(
     outcome = RecoveryOutcome(makespan=0.0)
     pending: dict[int, int] = {}  # repair id -> outstanding transfers
     finish: dict[int, float] = {}
+
+    # Admission control: per-server in-flight read counts and FIFO wait
+    # queues.  A completed read admits the next deferred one.
+    inflight: dict[int, int] = {s: 0 for s in survivors}
+    deferred: dict[int, deque] = {s: deque() for s in survivors}
+
+    def submit_read(server: int, nbytes: int, cb, name: str) -> None:
+        if max_repair_reads_per_server is not None and inflight[server] >= max_repair_reads_per_server:
+            outcome.repairs_throttled += 1
+            deferred[server].append((nbytes, cb, name))
+            return
+        inflight[server] += 1
+
+        def done(t: float, _server=server, _cb=cb) -> None:
+            inflight[_server] -= 1
+            if deferred[_server]:
+                nb, next_cb, nm = deferred[_server].popleft()
+                submit_read(_server, nb, next_cb, nm)
+            _cb(t)
+
+        disks[server].transfer(nbytes, done, name=name)
 
     for i in range(lost_blocks):
         target_block = i % code.n
@@ -118,7 +150,7 @@ def simulate_server_recovery(
 
         cb = make_on_read_done(i, writer)
         for server, nbytes in reads:
-            disks[server].transfer(nbytes, cb, name=f"read{i}")
+            submit_read(server, nbytes, cb, name=f"read{i}")
 
     sim.run()
     outcome.repair_times = [finish[i] for i in sorted(finish)]

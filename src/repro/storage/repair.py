@@ -13,12 +13,77 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.topology import Cluster
+from repro.codes.base import DecodingError
 from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSystemError
+from repro.storage.metrics import MetricsRegistry
 
 #: Decode throughput of one baseline CPU, bytes/second.  Only relative
 #: magnitudes matter in the benches; this anchors time estimates.
 DECODE_RATE = 400 * (1 << 20)
+
+
+class RepairAdmissionController:
+    """Token-based throttle bounding concurrent repair reads per server.
+
+    A reconstruction storm turns every surviving server into a repair
+    helper at once; without admission control those reads starve
+    foreground traffic.  Each repair leases one token per helper server
+    for the repair's estimated duration; when a server's tokens are
+    exhausted the repair *waits* (advancing the shared clock to the
+    earliest lease expiry) instead of piling on — counted in the
+    ``repairs_throttled`` metric.  The cap is per server, so a storm
+    degrades into bounded waves rather than an unbounded burst.
+    """
+
+    def __init__(
+        self,
+        clock,
+        max_inflight_per_server: int = 4,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if max_inflight_per_server < 1:
+            raise ValueError("max_inflight_per_server must be >= 1")
+        self.clock = clock
+        self.max_inflight_per_server = max_inflight_per_server
+        self.metrics = metrics or MetricsRegistry()
+        self._leases: dict[int, list[float]] = {}
+        self.waits = 0
+
+    def _active(self, server_id: int) -> list[float]:
+        now = self.clock.now
+        live = [t for t in self._leases.get(server_id, []) if t > now]
+        self._leases[server_id] = live
+        return live
+
+    def inflight(self, server_id: int) -> int:
+        """Repair-read leases currently held on one server."""
+        return len(self._active(server_id))
+
+    def acquire(self, server_durations: dict[int, float]) -> float:
+        """Lease one token per server for the given durations.
+
+        Blocks (in simulated time) until every server has a free token;
+        returns the clock time the leases were granted.
+        """
+        throttled = False
+        while True:
+            contended = [
+                min(self._active(sid))
+                for sid in server_durations
+                if len(self._active(sid)) >= self.max_inflight_per_server
+            ]
+            if not contended:
+                break
+            if not throttled:
+                throttled = True
+                self.waits += 1
+                self.metrics.add("repairs_throttled", 1)
+            self.clock.advance(min(contended) - self.clock.now)
+        now = self.clock.now
+        for sid, duration in server_durations.items():
+            self._leases.setdefault(sid, []).append(now + duration)
+        return now
 
 
 @dataclass
@@ -78,26 +143,58 @@ class RepairManager:
         prefer_fast_helpers: when the code has freedom in helper choice
             (Reed-Solomon repairs, degraded-group fallbacks), rank helper
             blocks by their server's disk bandwidth so the parallel read
-            phase is bounded by a fast disk, not the slowest.
+            phase is bounded by a fast disk, not the slowest.  Servers
+            with open circuit breakers sort last regardless of speed.
+        admission: throttle bounding concurrent repair reads per server;
+            default builds one on the filesystem's clock (raise its cap
+            to effectively disable throttling).
+        max_helper_replans: how many times one block repair may re-plan
+            around an unreadable helper before giving up.
+
+    Attributes:
+        quarantine: server ids treated as dead for planning — their
+            blocks count as lost, and they are never used as helpers or
+            rebuild targets.  The scrubber parks breaker-quarantined
+            servers here to route their blocks through repair.
     """
 
-    def __init__(self, dfs: DistributedFileSystem, prefer_fast_helpers: bool = True):
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        prefer_fast_helpers: bool = True,
+        admission: RepairAdmissionController | None = None,
+        max_helper_replans: int = 8,
+    ):
         self.dfs = dfs
         self.cluster: Cluster = dfs.cluster
         self.prefer_fast_helpers = prefer_fast_helpers
+        self.admission = admission or RepairAdmissionController(dfs.clock, metrics=dfs.metrics)
+        self.max_helper_replans = max_helper_replans
+        self.quarantine: set[int] = set()
+
+    def _avoid(self, server_id: int) -> bool:
+        """Servers repairs should not lean on: quarantined or breaker-open."""
+        return server_id in self.quarantine or self.dfs.health.is_open(server_id)
 
     def _preference(self, ef: EncodedFile) -> list[int] | None:
         if not self.prefer_fast_helpers:
             return None
         return sorted(
             ef.placement,
-            key=lambda b: -self.cluster.server(ef.server_of(b)).disk_bandwidth,
+            key=lambda b: (
+                self._avoid(ef.server_of(b)),
+                -self.cluster.server(ef.server_of(b)).disk_bandwidth,
+            ),
         )
 
     def _dead_blocks(self, ef: EncodedFile) -> set[int]:
         dead = set()
         for b, server in ef.placement.items():
-            if self.cluster.server(server).failed or not self.dfs.store.holds(server, ef.name, b):
+            if (
+                self.cluster.server(server).failed
+                or server in self.quarantine
+                or not self.dfs.store.holds(server, ef.name, b)
+            ):
                 dead.add(b)
         return dead
 
@@ -111,21 +208,70 @@ class RepairManager:
         ef = self.dfs.file(file_name)
         failed = self._dead_blocks(ef)
         if block not in failed:
-            raise FileSystemError(f"block {block} of {file_name!r} is not lost")
-        plan = ef.code.repair_plan(block, failed, preference=self._preference(ef))
-
-        available: dict[int, bytes] = {}
-        bytes_by_server: dict[int, int] = {}
-        block_bytes = ef.block_size * ef.code.gf.dtype.itemsize
-        for h in plan.helpers:
-            server = ef.server_of(h)
-            try:
-                available[h] = self.dfs.store.get(server, file_name, h, plan.read_fractions[h])
-            except BlockUnavailableError as exc:
-                raise FileSystemError(f"repair helper block {h} unavailable") from exc
-            bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
-                plan.read_fractions[h] * block_bytes
+            raise FileSystemError(
+                f"block {block} of {file_name!r} is not lost",
+                file=file_name,
+                block=block,
+                cause="not_lost",
             )
+        block_bytes = ef.block_size * ef.code.gf.dtype.itemsize
+
+        # Helper reads go through the resilient client; a helper whose
+        # retries exhaust (flaky disk, tripped breaker, fresh crash) is
+        # added to the failed set and the repair re-planned with a
+        # different helper set, up to ``max_helper_replans`` times.
+        unreadable = set(failed)
+        replans = 0
+        while True:
+            try:
+                plan = ef.code.repair_plan(block, unreadable, preference=self._preference(ef))
+            except DecodingError as exc:
+                raise FileSystemError(
+                    f"no helper set can rebuild block {block} of {file_name!r} "
+                    f"(unreadable blocks: {sorted(unreadable)})",
+                    file=file_name,
+                    block=block,
+                    cause="helpers_exhausted",
+                ) from exc
+            helper_servers = {ef.server_of(h) for h in plan.helpers}
+            self.admission.acquire(
+                {
+                    s: sum(
+                        plan.read_fractions[h] * block_bytes
+                        for h in plan.helpers
+                        if ef.server_of(h) == s
+                    )
+                    / self.cluster.server(s).disk_bandwidth
+                    for s in helper_servers
+                }
+            )
+            available: dict[int, bytes] = {}
+            bytes_by_server: dict[int, int] = {}
+            bad_helper: int | None = None
+            for h in plan.helpers:
+                server = ef.server_of(h)
+                try:
+                    available[h] = self.dfs.client.get(server, file_name, h, plan.read_fractions[h])
+                except BlockUnavailableError as exc:
+                    bad_helper = h
+                    last_exc = exc
+                    break
+                bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
+                    plan.read_fractions[h] * block_bytes
+                )
+            if bad_helper is None:
+                break
+            unreadable.add(bad_helper)
+            replans += 1
+            self.dfs.metrics.add("repair_replans", 1)
+            if replans > self.max_helper_replans:
+                raise FileSystemError(
+                    f"repair of block {block} of {file_name!r} gave up after "
+                    f"{replans} helper re-plans",
+                    file=file_name,
+                    block=block,
+                    cause="helpers_exhausted",
+                ) from last_exc
 
         # Reconstruction goes through the code's compiled-plan cache:
         # repeated failures of the same (target, helpers) pattern — the
@@ -175,17 +321,32 @@ class RepairManager:
 
     def _pick_target(self, ef: EncodedFile, prefer_rack: int | None = None) -> int:
         """A live unused server, preferring the lost block's old rack so
-        rack-aware layouts keep their group-per-rack structure."""
+        rack-aware layouts keep their group-per-rack structure; among
+        rack-equals the statistically healthiest server wins (no point
+        rebuilding onto a disk the breaker just gave up on)."""
         used = {
             s
             for b, s in ef.placement.items()
             if not self.cluster.server(s).failed and self.dfs.store.holds(s, ef.name, b)
         }
-        candidates = [s for s in self.cluster.alive() if s.server_id not in used]
+        candidates = [
+            s
+            for s in self.cluster.alive()
+            if s.server_id not in used and s.server_id not in self.quarantine
+        ]
         if not candidates:
-            raise FileSystemError(f"no spare server to host a rebuilt block of {ef.name!r}")
-        if prefer_rack is not None:
-            candidates.sort(key=lambda s: (s.rack != prefer_rack, s.server_id))
+            raise FileSystemError(
+                f"no spare server to host a rebuilt block of {ef.name!r}",
+                file=ef.name,
+                cause="no_target",
+            )
+        candidates.sort(
+            key=lambda s: (
+                (s.rack != prefer_rack) if prefer_rack is not None else False,
+                self.dfs.health.is_open(s.server_id),
+                s.server_id,
+            )
+        )
         return candidates[0].server_id
 
     def repair_server(self, server_id: int) -> ServerRepairReport:
@@ -194,8 +355,10 @@ class RepairManager:
         for name in self.dfs.list_files():
             ef = self.dfs.file(name)
             for b in sorted(ef.blocks_on_server(server_id)):
-                if self.cluster.server(server_id).failed or not self.dfs.store.holds(
-                    server_id, name, b
+                if (
+                    self.cluster.server(server_id).failed
+                    or server_id in self.quarantine
+                    or not self.dfs.store.holds(server_id, name, b)
                 ):
                     report.reports.append(self.repair_block(name, b))
         return report

@@ -8,6 +8,14 @@ CRC recorded by :class:`~repro.storage.blockstore.BlockStore`, drops the
 corrupt copies and routes them through the normal repair pipeline, so a
 corrupted block on a Galloper/Pyramid file heals with a cheap
 group-local repair.
+
+The scrubber is breaker-aware: blocks on servers whose circuit breaker
+is open are not verified (the breaker already distrusts the path) and
+are accounted separately from crashed servers.  With a ``breaker_grace``
+period configured, a server whose breaker has stayed open longer than
+the grace is treated as lost — its blocks are quarantined and rebuilt
+elsewhere through the repair pipeline, the storage analog of evicting a
+gray node.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem
+from repro.storage.health import HealthMonitor
 from repro.storage.repair import RepairManager, RepairReport
 
 
@@ -25,16 +34,29 @@ class ScrubReport:
 
     Attributes:
         blocks_checked: blocks whose checksum was verified.
-        blocks_skipped: blocks on unreachable servers (crashes are the
-            repair pipeline's job, not the scrubber's).
+        blocks_skipped_crashed: blocks on crashed (fail-stop) servers —
+            the repair pipeline's job, not the scrubber's.
+        blocks_skipped_breaker: blocks on up-but-distrusted servers whose
+            circuit breaker is open (and still within any grace period).
         corrupted: (file, block) pairs that failed verification.
         repairs: the repairs performed for corrupted blocks.
+        quarantined_servers: breaker-open servers past the grace period
+            whose blocks were routed through repair.
+        quarantine_repairs: the repairs performed for quarantined blocks.
     """
 
     blocks_checked: int = 0
-    blocks_skipped: int = 0
+    blocks_skipped_crashed: int = 0
+    blocks_skipped_breaker: int = 0
     corrupted: list[tuple[str, int]] = field(default_factory=list)
     repairs: list[RepairReport] = field(default_factory=list)
+    quarantined_servers: set[int] = field(default_factory=set)
+    quarantine_repairs: list[RepairReport] = field(default_factory=list)
+
+    @property
+    def blocks_skipped(self) -> int:
+        """Total unverified blocks, regardless of why."""
+        return self.blocks_skipped_crashed + self.blocks_skipped_breaker
 
     @property
     def healthy(self) -> bool:
@@ -42,11 +64,28 @@ class ScrubReport:
 
 
 class Scrubber:
-    """Namespace-wide checksum verification with automatic healing."""
+    """Namespace-wide checksum verification with automatic healing.
 
-    def __init__(self, dfs: DistributedFileSystem, repair: RepairManager | None = None):
+    Args:
+        dfs: the filesystem to scrub.
+        repair: repair pipeline for corrupted/quarantined blocks.
+        health: breaker state source (default: the filesystem's monitor).
+        breaker_grace: seconds a breaker may stay open before the
+            scrubber quarantines the server and rebuilds its blocks
+            elsewhere; ``None`` disables quarantine healing.
+    """
+
+    def __init__(
+        self,
+        dfs: DistributedFileSystem,
+        repair: RepairManager | None = None,
+        health: HealthMonitor | None = None,
+        breaker_grace: float | None = None,
+    ):
         self.dfs = dfs
         self.repair = repair or RepairManager(dfs)
+        self.health = health or dfs.health
+        self.breaker_grace = breaker_grace
 
     def scrub(self, heal: bool = True) -> ScrubReport:
         """Verify every block of every file; optionally repair corruption.
@@ -56,38 +95,57 @@ class Scrubber:
         """
         report = ScrubReport()
         for name in self.dfs.list_files():
-            ef = self.dfs.file(name)
-            for block, server in sorted(ef.placement.items()):
-                try:
-                    ok = self.dfs.store.verify(server, name, block)
-                except BlockUnavailableError:
-                    report.blocks_skipped += 1
-                    continue
-                report.blocks_checked += 1
-                if ok:
-                    continue
-                report.corrupted.append((name, block))
-                self.dfs.metrics.add("corruptions_detected", 1, server)
-                if heal:
-                    self.dfs.store.drop(server, name, block)
-                    report.repairs.append(self.repair.repair_block(name, block, server))
+            self._scrub_into(name, report, heal)
+        self.repair.quarantine -= report.quarantined_servers
         return report
 
     def scrub_file(self, name: str, heal: bool = True) -> ScrubReport:
         """Scrub a single file."""
         report = ScrubReport()
+        self._scrub_into(name, report, heal)
+        self.repair.quarantine -= report.quarantined_servers
+        return report
+
+    # ----------------------------------------------------------- internals
+
+    def _scrub_into(self, name: str, report: ScrubReport, heal: bool) -> None:
         ef = self.dfs.file(name)
         for block, server in sorted(ef.placement.items()):
+            if self.dfs.cluster.server(server).failed:
+                report.blocks_skipped_crashed += 1
+                continue
+            if self.health.is_open(server):
+                if self.breaker_grace is not None and self.health.quarantined(
+                    server, self.breaker_grace
+                ):
+                    self._quarantine_heal(name, block, server, report, heal)
+                else:
+                    report.blocks_skipped_breaker += 1
+                continue
             try:
                 ok = self.dfs.store.verify(server, name, block)
             except BlockUnavailableError:
-                report.blocks_skipped += 1
+                report.blocks_skipped_crashed += 1
                 continue
             report.blocks_checked += 1
-            if not ok:
-                report.corrupted.append((name, block))
-                self.dfs.metrics.add("corruptions_detected", 1, server)
-                if heal:
-                    self.dfs.store.drop(server, name, block)
-                    report.repairs.append(self.repair.repair_block(name, block, server))
-        return report
+            if ok:
+                continue
+            report.corrupted.append((name, block))
+            self.dfs.metrics.add("corruptions_detected", 1, server)
+            if heal:
+                self.dfs.store.drop(server, name, block)
+                report.repairs.append(self.repair.repair_block(name, block, server))
+
+    def _quarantine_heal(self, name: str, block: int, server: int, report: ScrubReport, heal: bool) -> None:
+        """Rebuild one block away from a breaker-quarantined server."""
+        report.quarantined_servers.add(server)
+        self.dfs.metrics.add("blocks_quarantined", 1, server)
+        if not heal:
+            return
+        # While the server is in the repair manager's quarantine set its
+        # blocks count as lost and it is never picked as helper/target.
+        self.repair.quarantine.add(server)
+        report.quarantine_repairs.append(self.repair.repair_block(name, block))
+        # The stale copy stays on the gray server's disk; drop it so a
+        # later recovery of that server doesn't resurrect old data.
+        self.dfs.store.drop(server, name, block)

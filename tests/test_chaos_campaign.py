@@ -1,0 +1,40 @@
+"""Seeded chaos smoke campaign (the ``chaos``-marked CI slice)."""
+
+import pytest
+
+from repro.bench.chaos import CAMPAIGN_CODES, baseline_read_latency, run_campaign, run_schedule
+from repro.faults import generate_schedule
+
+
+@pytest.mark.chaos
+def test_smoke_campaign_is_byte_exact_and_exercises_every_defence():
+    record = run_campaign(schedules=6, base_seed=2018)
+    assert record["mismatches"] == 0
+    assert record["unavailable"] == 0
+    assert record["reads"] == 6 * 8 * len(CAMPAIGN_CODES)
+    # Every resilience mechanism actually fired during the campaign.
+    for counter in ("retries", "hedged_reads", "breaker_opens", "repairs_throttled"):
+        assert record["metrics"][counter] > 0, counter
+    for code, stats in record["per_code"].items():
+        assert stats["mismatches"] == 0
+        assert stats["degraded_read_overhead"] > 1.0  # the latency cost is recorded
+
+
+@pytest.mark.chaos
+def test_campaign_is_deterministic():
+    a = run_campaign(schedules=2, base_seed=7, storm=False)
+    b = run_campaign(schedules=2, base_seed=7, storm=False)
+    assert a["metrics"] == b["metrics"]
+    assert a["per_code"] == b["per_code"]
+
+
+def test_single_schedule_run():
+    """One scenario end-to-end, without the chaos marker, so the default
+    suite always covers the campaign plumbing."""
+    schedule = generate_schedule(range(10), 2018, horizon=30.0)
+    name, make = CAMPAIGN_CODES[0]
+    result = run_schedule(schedule, name, make, checkpoints=4, storm=True)
+    assert result.mismatches == 0
+    assert result.reads == 4
+    assert result.repairs_throttled_storm > 0
+    assert baseline_read_latency(make) > 0

@@ -227,6 +227,145 @@ class TestSpeculativeExecution:
         assert spec.num_map_tasks == plain.num_map_tasks
 
 
+class TestRetryBookkeeping:
+    def test_retry_marker_pruned_when_fired(self):
+        """The locality-delay retry marker must not leak past its firing:
+        a server whose retry fired can re-arm one in a later wait window."""
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        sim = Simulation()
+        sched = LocalityScheduler(sim, cluster, locality_delay=2.0)
+        tasks = [make_task(f"t{i}", 0, duration=10.0) for i in range(3)]
+        sched.run_phase(tasks)
+        assert sched._retry_scheduled == set()
+
+    def test_retry_state_cleared_between_phases(self):
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        sim = Simulation()
+        sched = LocalityScheduler(sim, cluster, locality_delay=5.0)
+        sched.run_phase([make_task(f"a{i}", 0, duration=2.0) for i in range(3)])
+        first = dict(sched.task_retries)
+        sched.run_phase([make_task(f"b{i}", 0, duration=2.0) for i in range(3)])
+        assert sched.task_retries == {}
+        assert first == {}
+        assert sched.failed_tasks == []
+
+
+class TestServerFailure:
+    def test_inflight_tasks_requeued(self):
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        sim = Simulation()
+        sched = LocalityScheduler(sim, cluster)
+        tasks = [make_task("t0", 0, duration=10.0), make_task("t1", 1, duration=10.0)]
+        sched.reset()
+        sched._pending = sorted(tasks, key=lambda t: -t.input_bytes)
+        sched._phase_start = sim.now
+        for sid in sched._dispatch_order():
+            sched._dispatch(sid)
+        sim.run(until=3.0)
+        cluster.fail(0)
+        requeued = sched.handle_server_failure(0)
+        assert requeued == ["t0"]
+        sim.run()
+        winners = sched.effective_assignments()
+        assert winners["t0"].server == 1
+        assert not winners["t0"].failed
+        # The crashed attempt stays in the log, marked failed.
+        crashed = [a for a in sched.assignments if a.server == 0]
+        assert crashed and all(a.failed for a in crashed)
+
+    def test_retry_cap_fails_task_terminally(self):
+        cluster = Cluster.homogeneous(1, map_slots=1)
+        sim = Simulation()
+        sched = LocalityScheduler(sim, cluster, max_task_retries=0)
+        sched.reset()
+        sched._pending = [make_task("t0", 0, duration=10.0)]
+        for sid in sched._dispatch_order():
+            sched._dispatch(sid)
+        sim.run(until=1.0)
+        cluster.fail(0)
+        assert sched.handle_server_failure(0) == []
+        assert [t.task_id for t in sched.failed_tasks] == ["t0"]
+
+    def test_speculative_twin_survives_crash(self):
+        """When a backup attempt is running elsewhere, the task is not
+        re-queued after its primary's server dies."""
+        cluster = Cluster.heterogeneous([0.25, 1.0])
+        sim = Simulation()
+        sched = LocalityScheduler(sim, cluster, speculative=True)
+
+        def duration(sid, local):
+            return 10.0 / {0: 0.25, 1: 1.0}[sid]
+
+        sched.reset()
+        sched._pending = [ScheduledTask("t0", 0, 100, duration)]
+        for sid in sched._dispatch_order():
+            sched._dispatch(sid)
+        sim.run(until=1.0)
+        assert len(sched.assignments) == 2  # primary + backup
+        cluster.fail(0)
+        assert sched.handle_server_failure(0) == []
+        sim.run()
+        assert sched.effective_assignments()["t0"].server == 1
+        assert sched.failed_tasks == []
+
+    def test_completion_on_withdrawn_server_is_ignored(self):
+        """The already-scheduled completion event of a crashed server must
+        not resurrect its slot."""
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        sim = Simulation()
+        sched = LocalityScheduler(sim, cluster)
+        sched.reset()
+        sched._pending = [make_task("t0", 0, duration=5.0), make_task("t1", 1, duration=5.0)]
+        for sid in sched._dispatch_order():
+            sched._dispatch(sid)
+        sim.run(until=1.0)
+        cluster.fail(0)
+        sched.handle_server_failure(0)
+        sim.run()  # t0's stale completion event fires harmlessly
+        assert 0 not in sched._slots
+        assert sched.effective_assignments()["t0"].server == 1
+
+
+class TestHealthAwarePlacement:
+    @staticmethod
+    def _monitor(open_server):
+        from repro.faults import VirtualClock
+        from repro.storage import HealthMonitor
+
+        health = HealthMonitor(VirtualClock(), consecutive_limit=1, reset_timeout=1e9)
+        health.record_error(open_server)
+        return health
+
+    def test_breaker_open_server_does_not_steal(self):
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        sched = LocalityScheduler(Simulation(), cluster, health=self._monitor(1))
+        tasks = [make_task(f"t{i}", 0, duration=10.0) for i in range(3)]
+        assignments = sched.run_phase(tasks)
+        assert {a.server for a in assignments} == {0}
+
+    def test_breaker_open_owner_tasks_stealable_immediately(self):
+        """Tasks homed on a distrusted server move without waiting for the
+        locality delay, like tasks of a dead server."""
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        sched = LocalityScheduler(
+            Simulation(), cluster, locality_delay=50.0, health=self._monitor(0)
+        )
+        # Server 0's breaker is open: it still runs its local task, but its
+        # queued surplus is taken over by server 1 at t=0.
+        tasks = [make_task(f"t{i}", 0, duration=10.0) for i in range(2)]
+        assignments = sched.run_phase(tasks)
+        stolen = [a for a in assignments if a.server == 1]
+        assert len(stolen) == 1
+        assert stolen[0].start == 0.0
+
+    def test_without_monitor_behaviour_unchanged(self):
+        cluster = Cluster.homogeneous(2, map_slots=1)
+        plain = LocalityScheduler(Simulation(), cluster)
+        tasks = [make_task(f"t{i}", 0, duration=10.0) for i in range(3)]
+        assignments = plain.run_phase(tasks)
+        assert {a.server for a in assignments} == {0, 1}
+
+
 class TestDeterminism:
     def test_same_inputs_same_schedule(self):
         def run():
