@@ -8,6 +8,9 @@ Brings the library to the shell the way a storage tool would be used:
 * ``repair``  — rebuild one missing block file from the survivors.
 * ``analyze`` — reliability / availability report for a code.
 * ``figures`` — regenerate the paper's experiment tables.
+* ``stats``   — run a seeded striped workload (batched write, read,
+  server failure + bulk repair) and dump the coding-plan cache and
+  batched-pipeline counters as JSON.
 
 The on-disk layout written by ``encode`` is one ``block_XXX.bin`` per
 coded block plus ``manifest.json`` holding the code parameters (including
@@ -275,6 +278,72 @@ def cmd_analyze(args, out=None) -> int:
     return 0
 
 
+def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, seed: int = 0) -> dict:
+    """Seeded in-memory striped workload; returns the stats payload.
+
+    Writes a ~``groups``-group striped file (with a ragged tail) through
+    the batched pipeline, reads it back, fails the server holding the
+    first group's block 0, bulk-repairs it, and reports the shared
+    code's plan-cache counters plus the filesystem metrics.  Importable
+    by benchmarks and tests; ``repro stats`` prints it as JSON.
+    """
+    from repro.cluster.topology import Cluster
+    from repro.storage import DistributedFileSystem, RepairManager, StripedFileSystem
+    from repro.storage.striped import group_name
+
+    probe = code_factory()
+    itemsize = probe.gf.dtype.itemsize
+    stripe = max(1, block_bytes // (probe.N * itemsize))
+    group_payload = probe.data_stripe_total * stripe * itemsize
+    size = groups * group_payload - group_payload // 2  # force a ragged tail
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+    cluster = Cluster.homogeneous(max(30, 3 * probe.n))
+    dfs = DistributedFileSystem(cluster)
+    sfs = StripedFileSystem(dfs)
+    meta = sfs.write_file("stats", payload, code_factory, max_block_bytes=block_bytes)
+    if sfs.read_file("stats") != payload:
+        raise CLIError("stats workload read-back mismatch")
+    first = dfs.file(group_name("stats", 0))
+    code = first.code
+
+    victim = first.server_of(0)
+    cluster.fail(victim)
+    repaired = RepairManager(dfs).repair_server(victim, batch=True)
+    if sfs.read_file("stats") != payload:
+        raise CLIError("stats workload read-back mismatch after repair")
+
+    snap = dfs.metrics.snapshot()
+    applies = snap.get("batch_applies", 0)
+    zero = snap.get("bytes_moved_zero_copy", 0)
+    copied = snap.get("bytes_copied", 0)
+    return {
+        "code": repr(code),
+        "groups": meta.group_count,
+        "payload_bytes": size,
+        "blocks_rebuilt": repaired.blocks_rebuilt,
+        "plan_cache": code.plan_cache_info(),
+        "metrics": snap,
+        "derived": {
+            "groups_per_apply": snap.get("batch_groups", 0) / applies if applies else 0.0,
+            "zero_copy_fraction": zero / (zero + copied) if zero + copied else 0.0,
+        },
+    }
+
+
+def cmd_stats(args, out=None) -> int:
+    out = out or sys.stdout
+    result = run_striped_stats(
+        lambda: build_code(args),
+        groups=args.groups,
+        block_bytes=args.block_bytes,
+        seed=args.seed,
+    )
+    print(json.dumps(result, indent=2), file=out)
+    return 0
+
+
 FIGURES = {
     "fig1": "fig1_locality",
     "fig2": "fig2_parallelism",
@@ -355,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--only", help="comma-separated figure ids (e.g. fig9,fig10)")
     p.add_argument("--block-mb", type=int, default=2, help="block MB for timing figures")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("stats", help="batched-pipeline and plan-cache stats for a seeded workload")
+    _add_code_args(p)
+    p.add_argument("--groups", type=int, default=16, help="stripe groups to write (default 16)")
+    p.add_argument("--block-bytes", type=int, default=4096, help="block size cap (default 4096)")
+    p.add_argument("--seed", type=int, default=0, help="payload RNG seed")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 

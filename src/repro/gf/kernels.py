@@ -230,6 +230,42 @@ class CodingPlan:
 
     __call__ = apply
 
+    def apply_batch(
+        self, segments, out: np.ndarray | None = None
+    ) -> list[np.ndarray]:
+        """Apply the plan to many column-segments in one fused kernel call.
+
+        ``segments`` is a sequence of ``(n, S_i)`` payloads sharing this
+        plan's coefficient matrix — e.g. the stripe grids of every group
+        of a striped file.  They are column-concatenated once, pushed
+        through a single :meth:`apply` (one table walk, one chunk loop,
+        one set of scratch buffers instead of ``len(segments)``), and the
+        per-segment results are returned as zero-copy column views into
+        the shared ``(m, sum(S_i))`` output.
+
+        A single segment skips the concatenation entirely.  ``out`` may
+        pre-allocate the shared output buffer.
+        """
+        segs = [np.asarray(s) for s in segments]
+        if not segs:
+            return []
+        for s in segs:
+            if s.ndim != 2 or s.shape[0] != self.n:
+                raise GFError(
+                    f"apply_batch expects (n={self.n}, S) segments, got shape {s.shape}"
+                )
+        if len(segs) == 1:
+            only = self.apply(segs[0], out=out)
+            return [only]
+        stacked = np.concatenate(segs, axis=1)
+        result = self.apply(stacked, out=out)
+        views: list[np.ndarray] = []
+        off = 0
+        for s in segs:
+            views.append(result[:, off : off + s.shape[1]])
+            off += s.shape[1]
+        return views
+
     def _apply_dense_direct(self, data: np.ndarray, out: np.ndarray) -> None:
         """Log/antilog path for short stripes — no table build, no scratch."""
         sub = self._sub

@@ -33,13 +33,26 @@ class Simulation:
 
     Events scheduled for the same instant fire in scheduling order.  Time
     is a float in seconds (by convention; the engine is unit-agnostic).
+
+    Cancelled events use *lazy deletion*: they stay in the heap (removing
+    an arbitrary heap entry is O(n)) and are discarded when they surface
+    at the top.  Once cancelled entries outnumber live ones the heap is
+    compacted in one O(n) pass, so long-running simulations that cancel
+    heavily (timeout timers, hedged-read losers) keep the heap
+    proportional to the *live* event count and ``peek`` O(log n)
+    amortized instead of a full scan.
     """
+
+    #: Compaction only triggers past this many cancelled entries, so
+    #: small simulations never pay the rebuild.
+    COMPACT_MIN = 64
 
     def __init__(self):
         self._now = 0.0
         self._heap: list[_ScheduledEvent] = []
         self._counter = itertools.count()
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -49,6 +62,11 @@ class Simulation:
     @property
     def events_processed(self) -> int:
         return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Live (not cancelled) events still in the heap."""
+        return len(self._heap) - self._cancelled
 
     def schedule(self, delay: float, action: Callable[[], None], name: str = "") -> _ScheduledEvent:
         """Schedule ``action`` to run ``delay`` seconds from now."""
@@ -63,8 +81,30 @@ class Simulation:
         return self.schedule(when - self._now, action, name)
 
     def cancel(self, event: _ScheduledEvent) -> None:
-        """Cancel a pending event (lazy removal)."""
+        """Cancel a pending event (lazy removal, compaction when crowded)."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._cancelled += 1
+        if self._cancelled >= self.COMPACT_MIN and self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(n)).
+
+        (time, seq) ordering of live events is unchanged, so FIFO
+        tie-breaking — and therefore traces — are identical.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def _drop_cancelled_top(self) -> None:
+        """Pop cancelled events sitting at the heap top."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
 
     def run(self, until: float | None = None) -> float:
         """Process events until the heap drains or ``until`` is reached.
@@ -72,13 +112,14 @@ class Simulation:
         Returns the simulation time afterwards.
         """
         while self._heap:
+            self._drop_cancelled_top()
+            if not self._heap:
+                break
             ev = self._heap[0]
             if until is not None and ev.time > until:
                 self._now = until
                 return self._now
             heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
             self._now = ev.time
             self._processed += 1
             ev.action()
@@ -87,12 +128,10 @@ class Simulation:
         return self._now
 
     def peek(self) -> float | None:
-        """Time of the next pending event, or None when idle."""
-        for ev in self._heap:
-            if not ev.cancelled:
-                break
-        else:
-            return None
-        # The heap may have cancelled events at the front; scan lazily.
-        live = [e.time for e in self._heap if not e.cancelled]
-        return min(live) if live else None
+        """Time of the next pending event, or None when idle.
+
+        O(log n) amortized: cancelled events at the top are popped (each
+        paid for once), and the surviving top is the answer.
+        """
+        self._drop_cancelled_top()
+        return self._heap[0].time if self._heap else None

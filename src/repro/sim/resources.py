@@ -90,12 +90,21 @@ class ThroughputResource:
         self._free_at = 0.0
         self.bytes_moved = 0
 
-    def transfer(self, nbytes: float, on_done: Callable[[float], None], name: str = "") -> float:
-        """Enqueue a transfer; returns its completion time."""
+    def transfer(
+        self, nbytes: float, on_done: Callable[[float], None], name: str = "", delay: float = 0.0
+    ) -> float:
+        """Enqueue a transfer; returns its completion time.
+
+        ``delay`` adds fixed pipe occupancy in seconds on top of the
+        bandwidth-proportional time — a seek / per-request overhead —
+        without counting towards ``bytes_moved``.
+        """
         if nbytes < 0:
             raise SimulationError(f"{self.name}: negative transfer size")
+        if delay < 0:
+            raise SimulationError(f"{self.name}: negative transfer delay")
         start = max(self.sim.now, self._free_at)
-        done = start + nbytes / self.bandwidth
+        done = start + delay + nbytes / self.bandwidth
         self._free_at = done
         self.bytes_moved += int(nbytes)
         self.sim.schedule_at(done, lambda: on_done(done), name=f"{self.name}:{name}")

@@ -1,5 +1,6 @@
 """Distributed storage system: block stores, DFS namespace, repair, resilience."""
 
+from repro.storage import pipeline
 from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError, TransientReadError
 from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSystemError
 from repro.storage.health import CLOSED, HALF_OPEN, OPEN, HealthMonitor, ServerHealth
@@ -16,6 +17,7 @@ from repro.storage.scrub import ScrubReport, Scrubber
 from repro.storage.striped import StripedFileMeta, StripedFileSystem, StripedInputFormat
 
 __all__ = [
+    "pipeline",
     "BlockStore",
     "BlockUnavailableError",
     "StorageError",

@@ -247,6 +247,41 @@ class DistributedFileSystem:
         self.files[name] = ef
         return ef
 
+    def write_encoded(
+        self,
+        name: str,
+        code: ErasureCode,
+        blocks: np.ndarray,
+        original_size: int,
+        placement: PlacementPolicy | None = None,
+    ) -> EncodedFile:
+        """Register and store pre-encoded blocks (the batched-write path).
+
+        ``blocks`` is the ``(n, N, S)`` array a (possibly fused)
+        :meth:`~repro.codes.base.ErasureCode.encode` produced; views into
+        a larger batched output are stored as-is — no per-block copy.
+        """
+        if name in self.files:
+            raise FileSystemError(f"file {name!r} already exists")
+        if blocks.ndim != 3 or blocks.shape[:2] != (code.n, code.N):
+            raise FileSystemError(
+                f"expected ({code.n}, {code.N}, S) blocks for {name!r}, got {blocks.shape}"
+            )
+        placement = placement or RoundRobinPlacement()
+        servers = placement.place(self.cluster, code.n)
+        for b in range(code.n):
+            self.store.put(servers[b], name, b, blocks[b])
+        self.metrics.add("bytes_moved_zero_copy", blocks.nbytes)
+        ef = EncodedFile(
+            name=name,
+            code=code,
+            placement={b: servers[b] for b in range(code.n)},
+            stripe_size=blocks.shape[2],
+            original_size=original_size,
+        )
+        self.files[name] = ef
+        return ef
+
     @staticmethod
     def _as_symbols(code: ErasureCode, payload) -> np.ndarray:
         if isinstance(payload, (bytes, bytearray, memoryview)):
@@ -278,10 +313,56 @@ class DistributedFileSystem:
         flat = grid.reshape(-1)[: ef.original_size]
         return flat.astype(np.uint8).tobytes() if ef.code.gf.q == 8 else flat.tobytes()
 
-    def _read_all_stripes(self, ef: EncodedFile) -> np.ndarray:
+    def read_file_into(self, name: str, out) -> int:
+        """Read a whole file directly into a caller-supplied buffer.
+
+        ``out`` is a writable buffer (``bytearray`` / ``memoryview``) of
+        at least the file's byte length.  When the stripe grid maps 1:1
+        onto the output bytes (GF(2^8) symbols, no padding tail) the
+        stripes are read *into the buffer itself* — no intermediate grid,
+        no ``tobytes`` copy; otherwise one trailing copy of the payload
+        prefix remains.  Both cases are accounted in the
+        ``bytes_moved_zero_copy`` / ``bytes_copied`` metrics.
+
+        Returns the number of bytes written.
+        """
+        ef = self.file(name)
+        nbytes = ef.original_size * ef.code.gf.dtype.itemsize
+        view = memoryview(out)[:nbytes]
+        if ef.code.gf.q == 8 and ef.original_size == ef.padded_size:
+            grid = np.frombuffer(view, dtype=np.uint8).reshape(
+                ef.code.data_stripe_total, ef.stripe_size
+            )
+            self._read_all_stripes(ef, out=grid)
+            self.metrics.add("bytes_moved_zero_copy", nbytes)
+        else:
+            grid = self._read_all_stripes(ef)
+            flat = grid.reshape(-1)[: ef.original_size]
+            np.frombuffer(view, dtype=ef.code.gf.dtype)[:] = flat
+            self.metrics.add("bytes_copied", nbytes)
+        return nbytes
+
+    def _read_all_stripes(self, ef: EncodedFile, out: np.ndarray | None = None) -> np.ndarray:
+        total = ef.code.data_stripe_total
+        if out is None:
+            out = np.zeros((total, ef.stripe_size), dtype=ef.code.gf.dtype)
+        missing = self._read_available_stripes(ef, out)
+        if missing:
+            decoded = self._degraded_decode(ef)
+            out[missing] = decoded[missing]
+        return out
+
+    def _read_available_stripes(self, ef: EncodedFile, out: np.ndarray) -> list[int]:
+        """Fill ``out`` with directly-readable stripes; return the misses.
+
+        Rows of ``out`` whose stripe could not be read (no verbatim
+        holder, server down, retries exhausted) are left untouched and
+        their indices returned for the caller to decode — per file via
+        :meth:`_degraded_decode`, or batched across stripe groups by the
+        striped layer.
+        """
         total = ef.code.data_stripe_total
         mapping = self._stripe_map(ef.name)
-        out = np.zeros((total, ef.stripe_size), dtype=ef.code.gf.dtype)
         missing: list[int] = []
         for fs in range(total):
             holder = mapping.get(fs)
@@ -294,10 +375,7 @@ class DistributedFileSystem:
                 out[fs] = self.client.read_rows(server, ef.name, block, row, 1)[0]
             except BlockUnavailableError:
                 missing.append(fs)
-        if missing:
-            decoded = self._degraded_decode(ef)
-            out[missing] = decoded[missing]
-        return out
+        return missing
 
     def _degraded_decode(self, ef: EncodedFile) -> np.ndarray:
         """Decode the full stripe grid from a *minimal* set of survivors.
@@ -312,34 +390,9 @@ class DistributedFileSystem:
         """
         self.metrics.add("degraded_reads", 1)
         code = ef.code
-        reachable = []
-        for b, server in ef.placement.items():
-            if not self.cluster.server(server).failed and self.store.holds(server, ef.name, b):
-                reachable.append(b)
         excluded: set[int] = set()
         while True:
-            # Prefer blocks carrying the most original data (their rows
-            # are identity rows: cheap to eliminate, and they
-            # short-circuit the rank growth); among equals take the
-            # statistically healthiest server, then index for determinism.
-            candidates = sorted(
-                (b for b in reachable if b not in excluded),
-                key=lambda b: (
-                    -code.block_infos[b].data_stripes,
-                    self.health.score(ef.server_of(b)),
-                    b,
-                ),
-            )
-            chosen: list[int] = []
-            for b in candidates:
-                chosen.append(b)
-                if len(chosen) >= code.k and code.can_decode(chosen):
-                    break
-            else:
-                raise DecodingError(
-                    f"cannot decode {ef.name!r}: surviving blocks {sorted(candidates)} "
-                    f"(after excluding {sorted(excluded)}) do not determine the data"
-                )
+            chosen = self._plan_decode_blocks(ef, excluded)
             available: dict[int, np.ndarray] = {}
             failed_block: int | None = None
             for b in chosen:
@@ -353,6 +406,42 @@ class DistributedFileSystem:
                 self.metrics.add("decode_replans", 1)
                 continue
             return code.decode(available)
+
+    def _plan_decode_blocks(self, ef: EncodedFile, excluded: set[int] | frozenset = frozenset()) -> list[int]:
+        """Choose a minimal decodable block subset for a degraded read.
+
+        Prefer blocks carrying the most original data (their rows are
+        identity rows: cheap to eliminate, and they short-circuit the
+        rank growth); among equals take the statistically healthiest
+        server, then index for determinism.  Shared by the per-file
+        degraded decode and the striped layer's batched decode, so both
+        paths pick identical survivors (and hit the same compiled plan).
+
+        Raises:
+            DecodingError: when no reachable subset determines the data.
+        """
+        code = ef.code
+        reachable = []
+        for b, server in ef.placement.items():
+            if not self.cluster.server(server).failed and self.store.holds(server, ef.name, b):
+                reachable.append(b)
+        candidates = sorted(
+            (b for b in reachable if b not in excluded),
+            key=lambda b: (
+                -code.block_infos[b].data_stripes,
+                self.health.score(ef.server_of(b)),
+                b,
+            ),
+        )
+        chosen: list[int] = []
+        for b in candidates:
+            chosen.append(b)
+            if len(chosen) >= code.k and code.can_decode(chosen):
+                return chosen
+        raise DecodingError(
+            f"cannot decode {ef.name!r}: surviving blocks {sorted(candidates)} "
+            f"(after excluding {sorted(excluded)}) do not determine the data"
+        )
 
     def read_stripes(self, name: str, start: int, count: int) -> np.ndarray:
         """Read ``count`` file stripes starting at ``start``.

@@ -46,6 +46,19 @@ class MetricsRegistry:
     * ``decode_replans`` / ``repair_replans`` — fallback re-planning
     * ``repairs_throttled`` / ``blocks_quarantined`` — admission control
       and scrubber quarantine
+
+    Batched-pipeline counters (see ``docs/PERFORMANCE.md``):
+
+    * ``batch_applies`` / ``batch_groups`` — fused kernel calls and the
+      stripe groups they covered; ``batch_groups / batch_applies`` is the
+      mean fusion width (groups per apply)
+    * ``bytes_moved_zero_copy`` / ``bytes_copied`` — payload bytes that
+      travelled as views into caller buffers vs. bytes that crossed an
+      intermediate copy (dtype widening, unaligned tails)
+    * ``plan_cache_hits`` — compiled-plan cache hits observed by the
+      repair pipeline
+    * ``scrub_reverified`` — rebuilt blocks whose fresh checksum the
+      scrubber re-verified after a batched heal
     """
 
     def __init__(self):

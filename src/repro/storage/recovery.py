@@ -66,6 +66,8 @@ def simulate_server_recovery(
     disk_bandwidth: float = 100 * MB,
     seed: int = 0,
     max_repair_reads_per_server: int | None = None,
+    batch_groups: int = 1,
+    seek_time: float = 0.0,
 ) -> RecoveryOutcome:
     """Simulate rebuilding ``lost_blocks`` stripes after one server failure.
 
@@ -81,10 +83,23 @@ def simulate_server_recovery(
     storm leaves disk time for foreground traffic instead of burying
     every spindle under the full repair backlog at t=0.
 
+    ``batch_groups`` models the batched repair pipeline: up to that many
+    repairs of the *same* lost block index coalesce into one batch, and
+    within a batch all reads hitting the same helper server merge into a
+    single sequential transfer paying ``seek_time`` once instead of once
+    per repair.  ``seek_time`` is the fixed per-request disk occupancy
+    (seek + request setup) in seconds; block writes always pay it.  The
+    defaults (``batch_groups=1, seek_time=0.0``) reproduce the
+    unbatched storm event-for-event.
+
     Returns the storm's timing and load profile.
     """
     if num_servers <= code.n:
         raise ValueError(f"need more than {code.n} servers, got {num_servers}")
+    if batch_groups < 1:
+        raise ValueError("batch_groups must be >= 1")
+    if seek_time < 0:
+        raise ValueError("seek_time must be >= 0")
     rng = random.Random(seed)
     sim = Simulation()
     survivors = list(range(num_servers - 1))  # server num_servers-1 failed
@@ -113,8 +128,33 @@ def simulate_server_recovery(
                 submit_read(_server, nb, next_cb, nm)
             _cb(t)
 
-        disks[server].transfer(nbytes, done, name=name)
+        disks[server].transfer(nbytes, done, name=name, delay=seek_time)
 
+    def flush_batch(members: list[tuple[int, list[tuple[int, int]], int]]) -> None:
+        """Submit one batch: same-server reads merge into one transfer."""
+        agg: dict[int, int] = {}
+        for _, reads, _ in members:
+            for server, nbytes in reads:
+                agg[server] = agg.get(server, 0) + nbytes
+        batch_id = members[0][0]
+        pending[batch_id] = len(agg)
+
+        def on_read_done(t: float) -> None:
+            pending[batch_id] -= 1
+            if pending[batch_id] == 0:
+                # All inputs present: write every rebuilt block of the batch.
+                for rid, _, write_server in members:
+                    disks[write_server].transfer(
+                        block_bytes,
+                        lambda wt, _rid=rid: finish.__setitem__(_rid, wt),
+                        name=f"write{rid}",
+                        delay=seek_time,
+                    )
+
+        for server, nbytes in agg.items():
+            submit_read(server, nbytes, on_read_done, name=f"read{batch_id}")
+
+    batches: dict[int, list[tuple[int, list[tuple[int, int]], int]]] = {}
     for i in range(lost_blocks):
         target_block = i % code.n
         plan = code.repair_plan(target_block)
@@ -133,24 +173,12 @@ def simulate_server_recovery(
                 outcome.bytes_read_by_server.get(server, 0) + nbytes
             )
             reads.append((server, nbytes))
-        pending[i] = len(reads)
 
-        def make_on_read_done(repair_id: int, write_server: int):
-            def on_read_done(t: float) -> None:
-                pending[repair_id] -= 1
-                if pending[repair_id] == 0:
-                    # All inputs present: write the rebuilt block.
-                    disks[write_server].transfer(
-                        block_bytes,
-                        lambda wt, rid=repair_id: finish.__setitem__(rid, wt),
-                        name=f"write{repair_id}",
-                    )
-
-            return on_read_done
-
-        cb = make_on_read_done(i, writer)
-        for server, nbytes in reads:
-            submit_read(server, nbytes, cb, name=f"read{i}")
+        batches.setdefault(target_block, []).append((i, reads, writer))
+        if len(batches[target_block]) >= batch_groups:
+            flush_batch(batches.pop(target_block))
+    for target_block in sorted(batches):
+        flush_batch(batches[target_block])
 
     sim.run()
     outcome.repair_times = [finish[i] for i in sorted(finish)]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.topology import Cluster
 from repro.codes.base import DecodingError
+from repro.storage import pipeline
 from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSystemError
 from repro.storage.metrics import MetricsRegistry
@@ -282,6 +283,22 @@ class RepairManager:
         rebuilt, plan = ef.code.reconstruct(block, available, plan)
         self.dfs.metrics.add("plan_cache_hits", ef.code.plan_cache_info()["hits"] - hits_before)
 
+        return self._install_rebuilt(
+            ef, file_name, block, rebuilt, plan, bytes_by_server, target_server
+        )
+
+    def _install_rebuilt(
+        self,
+        ef: EncodedFile,
+        file_name: str,
+        block: int,
+        rebuilt,
+        plan,
+        bytes_by_server: dict[int, int],
+        target_server: int | None,
+    ) -> RepairReport:
+        """Store a rebuilt block, update placement, and build the report."""
+        block_bytes = ef.block_size * ef.code.gf.dtype.itemsize
         if target_server is None:
             old_server = ef.placement.get(block)
             prefer_rack = self.cluster.server(old_server).rack if old_server is not None else None
@@ -349,9 +366,111 @@ class RepairManager:
         )
         return candidates[0].server_id
 
-    def repair_server(self, server_id: int) -> ServerRepairReport:
-        """Rebuild every block lost with one server, file by file."""
+    # ------------------------------------------------------------ bulk repair
+
+    def repair_blocks_bulk(self, targets: list[tuple[str, int]]) -> list[RepairReport]:
+        """Rebuild many lost blocks, fusing same-pattern reconstructions.
+
+        Targets are grouped by ``(code instance, block index, helper
+        set)`` — after one server failure every stripe group of a striped
+        file lands in the same bucket — and each bucket's reconstruction
+        runs as **one** compiled-plan apply over the column-concatenated
+        helper stripes of all its files (ragged stripe widths mix
+        freely).  Helper reads, admission control, placement updates and
+        per-block reports are unchanged; a block whose helper reads fail
+        falls back to :meth:`repair_block`, which re-plans around the bad
+        helper.
+
+        Returns one report per rebuilt block, bucket by bucket.
+        """
+        buckets: dict[tuple[int, int, tuple[int, ...]], list[tuple[str, int, EncodedFile, object]]] = {}
+        fallback: list[tuple[str, int]] = []
+        for file_name, block in targets:
+            ef = self.dfs.file(file_name)
+            failed = self._dead_blocks(ef)
+            if block not in failed:
+                raise FileSystemError(
+                    f"block {block} of {file_name!r} is not lost",
+                    file=file_name,
+                    block=block,
+                    cause="not_lost",
+                )
+            try:
+                plan = ef.code.repair_plan(block, set(failed), preference=self._preference(ef))
+            except DecodingError as exc:
+                raise FileSystemError(
+                    f"no helper set can rebuild block {block} of {file_name!r} "
+                    f"(unreadable blocks: {sorted(failed)})",
+                    file=file_name,
+                    block=block,
+                    cause="helpers_exhausted",
+                ) from exc
+            key = (id(ef.code), block, plan.helpers)
+            buckets.setdefault(key, []).append((file_name, block, ef, plan))
+
+        reports: list[RepairReport] = []
+        for (_, block, helpers), entries in buckets.items():
+            block_bytes = entries[0][2].block_size * entries[0][2].code.gf.dtype.itemsize
+            availables = []
+            accounting = []
+            ready = []
+            for file_name, _, ef, plan in entries:
+                helper_servers = {ef.server_of(h) for h in plan.helpers}
+                self.admission.acquire(
+                    {
+                        s: sum(
+                            plan.read_fractions[h] * block_bytes
+                            for h in plan.helpers
+                            if ef.server_of(h) == s
+                        )
+                        / self.cluster.server(s).disk_bandwidth
+                        for s in helper_servers
+                    }
+                )
+                available: dict[int, object] = {}
+                bytes_by_server: dict[int, int] = {}
+                try:
+                    for h in plan.helpers:
+                        server = ef.server_of(h)
+                        available[h] = self.dfs.client.get(
+                            server, file_name, h, plan.read_fractions[h]
+                        )
+                        bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
+                            plan.read_fractions[h] * block_bytes
+                        )
+                except BlockUnavailableError:
+                    # The per-block path owns the re-planning loop.
+                    fallback.append((file_name, block))
+                    continue
+                availables.append(available)
+                accounting.append(bytes_by_server)
+                ready.append((file_name, ef, plan))
+            if not ready:
+                continue
+            code = ready[0][1].code
+            hits_before = code.plan_cache_info()["hits"]
+            rebuilt = pipeline.batch_reconstruct(
+                code, block, helpers, availables, metrics=self.dfs.metrics
+            )
+            self.dfs.metrics.add("plan_cache_hits", code.plan_cache_info()["hits"] - hits_before)
+            for (file_name, ef, plan), built, bytes_by_server in zip(ready, rebuilt, accounting):
+                reports.append(
+                    self._install_rebuilt(ef, file_name, block, built, plan, bytes_by_server, None)
+                )
+        for file_name, block in fallback:
+            reports.append(self.repair_block(file_name, block))
+        return reports
+
+    def repair_server(self, server_id: int, batch: bool = False) -> ServerRepairReport:
+        """Rebuild every block lost with one server.
+
+        With ``batch=True`` every lost block across all files is
+        collected first and routed through :meth:`repair_blocks_bulk`, so
+        striped files sharing a code rebuild in fused kernel calls; the
+        default repairs file by file (the seed path).
+        """
         report = ServerRepairReport(server=server_id)
+        lost: list[tuple[str, int]] = []
         for name in self.dfs.list_files():
             ef = self.dfs.file(name)
             for b in sorted(ef.blocks_on_server(server_id)):
@@ -360,16 +479,22 @@ class RepairManager:
                     or server_id in self.quarantine
                     or not self.dfs.store.holds(server_id, name, b)
                 ):
-                    report.reports.append(self.repair_block(name, b))
+                    lost.append((name, b))
+        if batch:
+            report.reports.extend(self.repair_blocks_bulk(lost))
+        else:
+            for name, b in lost:
+                report.reports.append(self.repair_block(name, b))
         return report
 
-    def repair_all(self) -> list[RepairReport]:
+    def repair_all(self, batch: bool = False) -> list[RepairReport]:
         """Sweep the namespace and rebuild everything missing.
 
         Files are repaired most-at-risk first: a stripe with two dead
         blocks is one failure from the edge of its tolerance, so it jumps
         the queue ahead of stripes missing a single block — the triage
-        production repair pipelines perform.
+        production repair pipelines perform.  ``batch=True`` fuses
+        same-pattern reconstructions within each risk tier.
         """
         damaged: list[tuple[int, str, list[int]]] = []
         for name in self.dfs.list_files():
@@ -378,6 +503,14 @@ class RepairManager:
             if dead:
                 damaged.append((-len(dead), name, dead))
         damaged.sort()
+        if batch:
+            tiers: dict[int, list[tuple[str, int]]] = {}
+            for risk, name, dead in damaged:
+                tiers.setdefault(risk, []).extend((name, b) for b in dead)
+            out: list[RepairReport] = []
+            for risk in sorted(tiers):
+                out.extend(self.repair_blocks_bulk(tiers[risk]))
+            return out
         out = []
         for _, name, dead in damaged:
             for b in dead:

@@ -43,6 +43,8 @@ class ScrubReport:
         quarantined_servers: breaker-open servers past the grace period
             whose blocks were routed through repair.
         quarantine_repairs: the repairs performed for quarantined blocks.
+        reverified: rebuilt blocks whose fresh checksum was re-verified
+            after a batched heal.
     """
 
     blocks_checked: int = 0
@@ -52,6 +54,7 @@ class ScrubReport:
     repairs: list[RepairReport] = field(default_factory=list)
     quarantined_servers: set[int] = field(default_factory=set)
     quarantine_repairs: list[RepairReport] = field(default_factory=list)
+    reverified: int = 0
 
     @property
     def blocks_skipped(self) -> int:
@@ -87,28 +90,58 @@ class Scrubber:
         self.health = health or dfs.health
         self.breaker_grace = breaker_grace
 
-    def scrub(self, heal: bool = True) -> ScrubReport:
+    def scrub(self, heal: bool = True, batch: bool = False) -> ScrubReport:
         """Verify every block of every file; optionally repair corruption.
 
         Corrupted blocks are dropped (their data cannot be trusted) and
         rebuilt from healthy peers through the code's repair plan.
+
+        With ``batch=True`` healing is deferred: corrupt copies are still
+        dropped the moment they are detected, but the rebuilds are
+        collected across the whole walk and fused through
+        :meth:`~repro.storage.repair.RepairManager.repair_blocks_bulk`
+        (stripe groups sharing a code and corruption pattern rebuild in
+        one kernel call), then every rebuilt block's fresh checksum is
+        re-verified in place (``reverified`` / the ``scrub_reverified``
+        metric).
         """
         report = ScrubReport()
+        deferred: list[tuple[str, int]] | None = [] if batch else None
         for name in self.dfs.list_files():
-            self._scrub_into(name, report, heal)
+            self._scrub_into(name, report, heal, deferred)
+        self._heal_deferred(report, deferred)
         self.repair.quarantine -= report.quarantined_servers
         return report
 
-    def scrub_file(self, name: str, heal: bool = True) -> ScrubReport:
+    def scrub_file(self, name: str, heal: bool = True, batch: bool = False) -> ScrubReport:
         """Scrub a single file."""
         report = ScrubReport()
-        self._scrub_into(name, report, heal)
+        deferred: list[tuple[str, int]] | None = [] if batch else None
+        self._scrub_into(name, report, heal, deferred)
+        self._heal_deferred(report, deferred)
         self.repair.quarantine -= report.quarantined_servers
         return report
 
     # ----------------------------------------------------------- internals
 
-    def _scrub_into(self, name: str, report: ScrubReport, heal: bool) -> None:
+    def _heal_deferred(self, report: ScrubReport, deferred: list[tuple[str, int]] | None) -> None:
+        """Batched heal: fused rebuild, then re-verify every new copy."""
+        if not deferred:
+            return
+        repairs = self.repair.repair_blocks_bulk(deferred)
+        report.repairs.extend(repairs)
+        for rep in repairs:
+            if self.dfs.store.verify(rep.target_server, rep.file, rep.block):
+                report.reverified += 1
+                self.dfs.metrics.add("scrub_reverified", 1, rep.target_server)
+
+    def _scrub_into(
+        self,
+        name: str,
+        report: ScrubReport,
+        heal: bool,
+        deferred: list[tuple[str, int]] | None = None,
+    ) -> None:
         ef = self.dfs.file(name)
         for block, server in sorted(ef.placement.items()):
             if self.dfs.cluster.server(server).failed:
@@ -134,7 +167,10 @@ class Scrubber:
             self.dfs.metrics.add("corruptions_detected", 1, server)
             if heal:
                 self.dfs.store.drop(server, name, block)
-                report.repairs.append(self.repair.repair_block(name, block, server))
+                if deferred is not None:
+                    deferred.append((name, block))
+                else:
+                    report.repairs.append(self.repair.repair_block(name, block, server))
 
     def _quarantine_heal(self, name: str, block: int, server: int, report: ScrubReport, heal: bool) -> None:
         """Rebuild one block away from a breaker-quarantined server."""

@@ -20,8 +20,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
+from repro.codes.base import DecodingError
 from repro.mapreduce.inputformat import GalloperInputFormat, InputFormat, InputSplit
+from repro.storage import pipeline
+from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem, FileSystemError
 
 
@@ -84,6 +89,7 @@ class StripedFileSystem:
         max_block_bytes: int = 1 << 20,
         placement: PlacementPolicy | None = None,
         share_code: bool = True,
+        batch: bool = True,
     ) -> StripedFileMeta:
         """Write a payload as rotated stripe groups.
 
@@ -100,10 +106,14 @@ class StripedFileSystem:
                 default), so the compiled encode plan and any decode /
                 repair plans are built once and shared by all groups.
                 Pass ``False`` to build a fresh code per group.
+            batch: encode all full groups through **one** fused kernel
+                call (requires ``share_code``) instead of one encode per
+                group; a ragged tail group rides separately.  ``False``
+                restores the per-group seed path.
         """
         if name in self.striped:
             raise FileSystemError(f"striped file {name!r} already exists")
-        data = bytes(payload)
+        data = payload if isinstance(payload, (bytes, bytearray, memoryview)) else bytes(payload)
         probe = code_factory()
         group_payload = probe.k * max_block_bytes
         # Align so each group's payload divides into k*N equal stripes.
@@ -116,13 +126,48 @@ class StripedFileSystem:
             group_payload=group_payload,
             group_count=group_count,
         )
-        for i in range(group_count):
-            chunk = data[i * group_payload : (i + 1) * group_payload]
-            pol = placement or RoundRobinPlacement(offset=i * probe.n)
-            code = probe if share_code else code_factory()
-            self.dfs.write_file(group_name(name, i), chunk, code=code, placement=pol)
+        if batch and share_code and group_count > 1:
+            self._write_batched(name, data, probe, meta, placement)
+        else:
+            view = memoryview(data)
+            for i in range(group_count):
+                chunk = view[i * group_payload : (i + 1) * group_payload]
+                pol = placement or RoundRobinPlacement(offset=i * probe.n)
+                code = probe if share_code else code_factory()
+                self.dfs.write_file(group_name(name, i), chunk, code=code, placement=pol)
         self.striped[name] = meta
         return meta
+
+    def _write_batched(self, name, data, code, meta: StripedFileMeta, placement) -> None:
+        """Encode every full group in one fused kernel call.
+
+        The payload is viewed as a ``(groups, k*N, S)`` stack without
+        copying (``np.frombuffer`` over the caller's bytes); the batch
+        apply stacks group columns once and runs one generator product.
+        The final short group — whose stripe width differs after padding
+        — is the ragged tail and takes the ordinary single-group path
+        with the same shared code.
+        """
+        gp = meta.group_payload
+        total = code.data_stripe_total
+        stripe = gp // total
+        full = len(data) // gp
+        arr = np.frombuffer(data, dtype=np.uint8)
+        if full:
+            grids = arr[: full * gp].reshape(full, total, stripe)
+            if grids.dtype != code.gf.dtype:
+                grids = grids.astype(code.gf.dtype)
+                self.metrics.add("bytes_copied", grids.nbytes)
+            blocks = pipeline.batch_encode(code, list(grids), metrics=self.metrics)
+            for i in range(full):
+                pol = placement or RoundRobinPlacement(offset=i * code.n)
+                self.dfs.write_encoded(
+                    group_name(name, i), code, blocks[i], original_size=gp, placement=pol
+                )
+        if full < meta.group_count:
+            tail = arr[full * gp :]
+            pol = placement or RoundRobinPlacement(offset=full * code.n)
+            self.dfs.write_file(group_name(name, full), tail, code=code, placement=pol)
 
     # -------------------------------------------------------------- read
 
@@ -153,9 +198,110 @@ class StripedFileSystem:
             remaining -= take
         return bytes(out)
 
-    def read_file(self, name: str) -> bytes:
+    def read_file(self, name: str, batch: bool = True) -> bytes:
+        """Read the whole file through a preallocated output buffer.
+
+        The output is one ``bytearray`` sized from ``meta.original_size``;
+        each group's stripes land in it directly (zero-copy where the
+        stripe grid maps 1:1 onto output bytes).  With ``batch=True``
+        groups that need a degraded decode are bucketed by their chosen
+        survivor set and decoded in one fused kernel call per bucket.
+        ``batch=False`` keeps per-group reads but still assembles into the
+        preallocated buffer instead of ``b"".join``.
+        """
         meta = self.file(name)
-        return b"".join(self.dfs.read_file(g) for g in meta.group_names())
+        buf = bytearray(meta.original_size)
+        view = memoryview(buf)
+        if not batch:
+            pos = 0
+            for g in meta.group_names():
+                pos += self.dfs.read_file_into(g, view[pos:])
+            return bytes(buf)
+        pending: list[tuple[object, np.ndarray, list[int], memoryview | None]] = []
+        pos = 0
+        for g in meta.group_names():
+            ef = self.dfs.file(g)
+            nbytes = ef.original_size * ef.code.gf.dtype.itemsize
+            target = view[pos : pos + nbytes]
+            pos += nbytes
+            aligned = ef.code.gf.q == 8 and ef.original_size == ef.padded_size
+            if aligned:
+                grid = np.frombuffer(target, dtype=np.uint8).reshape(
+                    ef.code.data_stripe_total, ef.stripe_size
+                )
+                spill = None
+            else:
+                grid = np.zeros((ef.code.data_stripe_total, ef.stripe_size), dtype=ef.code.gf.dtype)
+                spill = target
+            missing = self.dfs._read_available_stripes(ef, grid)
+            if missing:
+                pending.append((ef, grid, missing, spill))
+            else:
+                self._finish_group(ef, grid, spill, nbytes)
+        if pending:
+            self._batch_degraded_decode(pending)
+        return bytes(buf)
+
+    def _finish_group(self, ef, grid: np.ndarray, spill, nbytes: int) -> None:
+        """Account a completed group; copy out of the side grid if needed."""
+        if spill is None:
+            self.metrics.add("bytes_moved_zero_copy", nbytes)
+        else:
+            flat = grid.reshape(-1)[: ef.original_size]
+            np.frombuffer(spill, dtype=ef.code.gf.dtype)[:] = flat
+            self.metrics.add("bytes_copied", nbytes)
+
+    def _batch_degraded_decode(self, pending) -> None:
+        """Decode all groups with missing stripes, fused per survivor set.
+
+        Groups are bucketed by ``(code instance, chosen blocks)`` — the
+        repair-storm shape, where every group lost the same server — and
+        each bucket runs as one compiled decode apply.  A group whose
+        block reads fail mid-bucket falls back to the per-file degraded
+        decode, which re-plans around flaky helpers.
+        """
+        dfs = self.dfs
+        buckets: dict[tuple[int, tuple[int, ...]], list] = {}
+        fallback: list = []
+        for entry in pending:
+            ef = entry[0]
+            try:
+                chosen = dfs._plan_decode_blocks(ef)
+            except DecodingError:
+                # Let the per-file path raise with its richer context.
+                fallback.append(entry)
+                continue
+            buckets.setdefault((id(ef.code), tuple(sorted(chosen))), []).append((entry, chosen))
+        for (_, _ids), members in buckets.items():
+            availables = []
+            good: list = []
+            for entry, chosen in members:
+                ef = entry[0]
+                available: dict[int, np.ndarray] = {}
+                try:
+                    for b in chosen:
+                        available[b] = dfs.client.get(ef.server_of(b), ef.name, b)
+                except BlockUnavailableError:
+                    fallback.append(entry)
+                    continue
+                availables.append(available)
+                good.append(entry)
+            if not good:
+                continue
+            code = good[0][0].code
+            decoded = pipeline.batch_decode(code, availables, metrics=self.metrics)
+            for entry, grid_out in zip(good, decoded):
+                ef, grid, missing, spill = entry
+                grid[missing] = grid_out[missing]
+                dfs.metrics.add("degraded_reads", 1)
+                nbytes = ef.original_size * ef.code.gf.dtype.itemsize
+                self._finish_group(ef, grid, spill, nbytes)
+        for entry in fallback:
+            ef, grid, missing, spill = entry
+            decoded = dfs._degraded_decode(ef)
+            grid[missing] = decoded[missing]
+            nbytes = ef.original_size * ef.code.gf.dtype.itemsize
+            self._finish_group(ef, grid, spill, nbytes)
 
     def delete_file(self, name: str) -> None:
         meta = self.file(name)

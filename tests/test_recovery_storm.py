@@ -68,3 +68,37 @@ class TestRecoveryStorm:
         o = simulate_server_recovery(PyramidCode(4, 2, 1), 0, 10)
         assert o.makespan == 0.0
         assert o.bytes_read == 0
+
+
+class TestBatchedStorm:
+    def test_defaults_reproduce_unbatched_storm(self):
+        code = PyramidCode(4, 2, 1)
+        a = simulate_server_recovery(code, 40, 15, seed=5)
+        b = simulate_server_recovery(code, 40, 15, seed=5, batch_groups=1, seek_time=0.0)
+        assert a.repair_times == b.repair_times
+        assert a.bytes_read_by_server == b.bytes_read_by_server
+
+    def test_batching_amortizes_seeks(self):
+        # With a per-request seek cost, merging same-server reads across
+        # batched repairs pays the seek once per batch, not per repair.
+        code = ReedSolomonCode(4, 2)
+        single = simulate_server_recovery(code, 48, 16, seed=4, seek_time=0.01)
+        batched = simulate_server_recovery(
+            code, 48, 16, seed=4, seek_time=0.01, batch_groups=8
+        )
+        assert batched.makespan < single.makespan
+        assert batched.bytes_read == single.bytes_read
+
+    def test_batching_without_seeks_moves_same_bytes(self):
+        code = GalloperCode(4, 2, 1)
+        single = simulate_server_recovery(code, 30, 12, seed=6)
+        batched = simulate_server_recovery(code, 30, 12, seed=6, batch_groups=5)
+        assert batched.bytes_read == single.bytes_read
+        assert len(batched.repair_times) == len(single.repair_times) == 30
+
+    def test_parameter_validation(self):
+        code = PyramidCode(4, 2, 1)
+        with pytest.raises(ValueError):
+            simulate_server_recovery(code, 5, 15, batch_groups=0)
+        with pytest.raises(ValueError):
+            simulate_server_recovery(code, 5, 15, seek_time=-1.0)

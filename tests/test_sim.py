@@ -86,6 +86,79 @@ class TestSimulation:
 
         assert run_once() == run_once()
 
+    def test_cancel_is_lazy_until_compaction(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for ev in events[:4]:
+            sim.cancel(ev)
+        # Below the compaction floor: tombstones stay in the heap, but
+        # the live-event count already excludes them.
+        assert len(sim._heap) == 10
+        assert sim.pending_events == 6
+
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulation()
+        keep = sim.schedule(1000.0, lambda: None)
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for ev in events:
+            sim.cancel(ev)
+        # Cancelled majority past the floor: the heap shrank in place.
+        assert len(sim._heap) < 100
+        assert sim.pending_events == 1
+        assert sim.peek() == 1000.0
+        sim.cancel(keep)
+        assert sim.peek() is None
+
+    def test_peek_skips_cancelled_head_without_firing(self):
+        sim = Simulation()
+        log = []
+        first = sim.schedule(1.0, lambda: log.append("dead"))
+        sim.schedule(2.0, lambda: log.append("live"))
+        sim.cancel(first)
+        assert sim.peek() == 2.0
+        sim.run()
+        assert log == ["live"]
+
+    def test_cancel_twice_is_idempotent(self):
+        sim = Simulation()
+        log = []
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: log.append(sim.now))
+        sim.cancel(ev)
+        sim.cancel(ev)
+        assert sim.pending_events == 1
+        sim.run()
+        assert log == [2.0]
+
+    def test_compaction_preserves_fifo_determinism(self):
+        def run_once(compact: bool):
+            sim = Simulation()
+            trace = []
+            doomed = []
+            for i in range(5):
+                sim.schedule(1.0, lambda i=i: trace.append(i))
+                doomed.extend(sim.schedule(3.0, lambda: trace.append(-1)) for _ in range(40))
+            if compact:
+                for ev in doomed:
+                    sim.cancel(ev)
+            sim.run(until=2.0)
+            return trace
+
+        assert run_once(compact=True) == run_once(compact=False) == [0, 1, 2, 3, 4]
+
+    def test_run_until_with_cancelled_frontier(self):
+        sim = Simulation()
+        log = []
+        ev = sim.schedule(1.0, lambda: log.append("x"))
+        sim.cancel(ev)
+        sim.schedule(5.0, lambda: log.append("y"))
+        sim.run(until=3.0)
+        # The cancelled head must not drag `now` forward past `until`.
+        assert sim.now == 3.0
+        assert log == []
+        sim.run()
+        assert log == ["y"]
+
 
 class TestSlotResource:
     def test_parallel_up_to_capacity(self):
