@@ -1,0 +1,190 @@
+"""CI regression gate: fresh benchmark run vs committed baselines.
+
+Compares a fresh (quick) benchmark run against the headline metrics
+recorded in ``BENCH_kernels.json`` / ``BENCH_striped.json`` at the
+repository root.  All headline metrics are machine-independent *speedup
+ratios* (batched vs per-group, warm vs cold cache), so the gate is
+stable across CI runner generations — a 25% tolerance absorbs scheduler
+noise while a real pipeline regression (a dropped fusion, a cache
+bypass) shows up as a 2-5x collapse.
+
+Two kinds of failure:
+
+* **Regression** — a fresh headline ratio fell more than ``tolerance``
+  below the committed baseline value.
+* **Floor violation** — a ratio dropped below its absolute floor
+  (``FLOORS``), regardless of what the baseline says; the batched
+  pipeline must stay >= 2x no matter how stale the baseline is.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --quick
+    PYTHONPATH=src python benchmarks/check_regression.py --only kernels
+    # testing hooks: compare pre-computed result files instead of running
+    python benchmarks/check_regression.py --fresh-kernels k.json --fresh-striped s.json
+
+Exit status 0 when every metric holds, 1 on any regression or floor
+violation, 2 on usage/baseline errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Headline metrics per benchmark file: all dimensionless speedup ratios.
+HEADLINE = {
+    "kernels": ("plan_cache_speedup", "gf16_kernel_speedup", "gf16_encode_speedup"),
+    "striped": ("min_encode_speedup", "min_repair_speedup"),
+}
+
+BASELINES = {
+    "kernels": REPO_ROOT / "BENCH_kernels.json",
+    "striped": REPO_ROOT / "BENCH_striped.json",
+}
+
+#: Absolute floors: the batched pipeline's speedups must stay >= 2x even
+#: if someone commits a slower baseline.
+FLOORS = {
+    "min_encode_speedup": 2.0,
+    "min_repair_speedup": 2.0,
+    "plan_cache_speedup": 2.0,
+    "gf16_kernel_speedup": 2.0,
+}
+
+
+def compare(
+    name: str, baseline: dict, fresh: dict, tolerance: float = 0.25, floors: bool = True
+) -> list[str]:
+    """Return human-readable failure lines (empty = metrics hold).
+
+    ``floors=False`` skips the absolute >=2x checks — used for quick
+    smoke workloads, whose tiny group counts never reach the fused
+    pipeline's steady-state speedups.
+    """
+    failures: list[str] = []
+    for metric in HEADLINE[name]:
+        if metric not in baseline:
+            failures.append(f"{name}: baseline is missing headline metric {metric!r}")
+            continue
+        if metric not in fresh:
+            failures.append(f"{name}: fresh run is missing headline metric {metric!r}")
+            continue
+        base = float(baseline[metric])
+        got = float(fresh[metric])
+        allowed = base * (1.0 - tolerance)
+        if got < allowed:
+            failures.append(
+                f"{name}.{metric}: {got:.3f} < {allowed:.3f} "
+                f"(baseline {base:.3f}, tolerance {tolerance:.0%})"
+            )
+        floor = FLOORS.get(metric)
+        if floors and floor is not None and got < floor:
+            failures.append(f"{name}.{metric}: {got:.3f} below absolute floor {floor:.1f}x")
+    return failures
+
+
+def baseline_record(name: str, data: dict, quick: bool) -> dict | None:
+    """Pick the baseline record a fresh run should be compared against.
+
+    The trajectory files carry full-run metrics at the top level; quick
+    runs (16 groups vs 64) reach structurally lower speedups, so a quick
+    fresh run must compare against the latest recorded *quick* run, not
+    the full baseline.  The kernels bench has no quick mode, so its
+    top-level record serves both.  Returns ``None`` when no matching
+    baseline exists.
+    """
+    if not quick or name == "kernels":
+        return data
+    for run in reversed(data.get("runs", [])):
+        if run.get("quick"):
+            return run
+    return None
+
+
+def measure_kernels() -> dict:
+    """Run the kernel benchmark in-process and return its record."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import run_kernels
+    finally:
+        sys.path.pop(0)
+    return run_kernels.run()
+
+
+def measure_striped(quick: bool) -> dict:
+    """Run the striped-pipeline benchmark in-process and return its record."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import run_striped
+    finally:
+        sys.path.pop(0)
+    return run_striped.run(quick)
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"error: missing file {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}") from None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="fractional drop below baseline that counts as a regression (default 0.25)",
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI smoke workloads")
+    parser.add_argument(
+        "--only", choices=sorted(HEADLINE), help="gate just one benchmark family"
+    )
+    parser.add_argument(
+        "--fresh-kernels", type=Path,
+        help="use a pre-computed kernels result file instead of benchmarking",
+    )
+    parser.add_argument(
+        "--fresh-striped", type=Path,
+        help="use a pre-computed striped result file instead of benchmarking",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    families = [args.only] if args.only else sorted(HEADLINE)
+    failures: list[str] = []
+    for name in families:
+        baseline = baseline_record(name, _load(BASELINES[name]), args.quick)
+        if baseline is None:
+            raise SystemExit(
+                f"error: {BASELINES[name].name} has no quick baseline run; record one with "
+                f"`PYTHONPATH=src python benchmarks/run_{name}.py --quick`"
+            )
+        if name == "kernels":
+            fresh = _load(args.fresh_kernels) if args.fresh_kernels else measure_kernels()
+        else:
+            fresh = _load(args.fresh_striped) if args.fresh_striped else measure_striped(args.quick)
+        fails = compare(name, baseline, fresh, tolerance=args.tolerance, floors=not args.quick)
+        failures.extend(fails)
+        for metric in HEADLINE[name]:
+            base = baseline.get(metric)
+            got = fresh.get(metric)
+            if base is not None and got is not None:
+                print(f"{name}.{metric}: fresh {float(got):.3f} vs baseline {float(base):.3f}")
+    if failures:
+        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -314,6 +314,9 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
     if sfs.read_file("stats") != payload:
         raise CLIError("stats workload read-back mismatch after repair")
 
+    cache = code.plan_cache_info()
+    lookups = cache["hits"] + cache["misses"]
+    dfs.metrics.set_gauge("plan_cache_hit_ratio", cache["hits"] / lookups if lookups else 0.0)
     snap = dfs.metrics.snapshot()
     applies = snap.get("batch_applies", 0)
     zero = snap.get("bytes_moved_zero_copy", 0)
@@ -323,8 +326,9 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
         "groups": meta.group_count,
         "payload_bytes": size,
         "blocks_rebuilt": repaired.blocks_rebuilt,
-        "plan_cache": code.plan_cache_info(),
+        "plan_cache": cache,
         "metrics": snap,
+        "metrics_all": dfs.metrics.snapshot_all(),
         "derived": {
             "groups_per_apply": snap.get("batch_groups", 0) / applies if applies else 0.0,
             "zero_copy_fraction": zero / (zero + copied) if zero + copied else 0.0,
@@ -341,6 +345,133 @@ def cmd_stats(args, out=None) -> int:
         seed=args.seed,
     )
     print(json.dumps(result, indent=2), file=out)
+    return 0
+
+
+# ------------------------------------------------------------- observability
+
+
+def run_traced_striped(code_factory, groups: int = 8, block_bytes: int = 4096, seed: int = 0) -> dict:
+    """Seeded striped workload exercising every traced path.
+
+    Ordered so the span tree covers the full block lifecycle: batched
+    write (encode → place → store), clean read, server failure, a
+    **degraded** read off the surviving blocks, bulk repair, and a final
+    verify read.  Returns summary facts for the CLI to print; run it
+    under :func:`repro.obs.use_tracer` to capture the trace.
+    """
+    from repro.cluster.topology import Cluster
+    from repro.storage import DistributedFileSystem, RepairManager, StripedFileSystem
+    from repro.storage.striped import group_name
+
+    probe = code_factory()
+    itemsize = probe.gf.dtype.itemsize
+    stripe = max(1, block_bytes // (probe.N * itemsize))
+    group_payload = probe.data_stripe_total * stripe * itemsize
+    size = groups * group_payload - group_payload // 2
+    rng = np.random.default_rng(seed)
+    payload = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+
+    cluster = Cluster.homogeneous(max(30, 3 * probe.n))
+    dfs = DistributedFileSystem(cluster)
+    sfs = StripedFileSystem(dfs)
+    meta = sfs.write_file("traced", payload, code_factory, max_block_bytes=block_bytes)
+    if sfs.read_file("traced") != payload:
+        raise CLIError("traced workload clean read mismatch")
+    victim = dfs.file(group_name("traced", 0)).server_of(0)
+    cluster.fail(victim)
+    if sfs.read_file("traced") != payload:
+        raise CLIError("traced workload degraded read mismatch")
+    repaired = RepairManager(dfs).repair_server(victim, batch=True)
+    if sfs.read_file("traced") != payload:
+        raise CLIError("traced workload post-repair read mismatch")
+    return {
+        "groups": meta.group_count,
+        "payload_bytes": size,
+        "victim": victim,
+        "blocks_rebuilt": repaired.blocks_rebuilt,
+        "degraded_reads": dfs.metrics.snapshot().get("degraded_reads", 0),
+    }
+
+
+def run_traced_mapreduce(groups: int = 4, block_bytes: int = 4096, seed: int = 0) -> dict:
+    """Seeded wordcount over a striped Galloper file, for ``repro trace``."""
+    from repro.cluster.topology import Cluster
+    from repro.core import GalloperCode
+    from repro.mapreduce.job import JobSpec
+    from repro.mapreduce.runtime import MapReduceRuntime
+    from repro.storage import DistributedFileSystem, StripedFileSystem
+    from repro.storage.striped import StripedInputFormat
+
+    rng = np.random.default_rng(seed)
+    words = [b"stripe", b"parity", b"repair", b"locality"]
+    text = b" ".join(words[i] for i in rng.integers(0, len(words), size=groups * 512)) + b"\n"
+
+    cluster = Cluster.homogeneous(30)
+    dfs = DistributedFileSystem(cluster)
+    sfs = StripedFileSystem(dfs)
+    sfs.write_file("words", text, lambda: GalloperCode(4, 2, 1), max_block_bytes=block_bytes)
+
+    def mapper(record: bytes):
+        for w in record.split():
+            yield w.decode(), 1
+
+    spec = JobSpec(name="wordcount", input_file="words", mapper=mapper,
+                   reducer=lambda key, values: sum(values))
+    result = MapReduceRuntime(sfs).run(spec, StripedInputFormat())
+    return {
+        "job": result.job,
+        "tasks": len(result.tasks),
+        "job_time": result.job_time,
+        "distinct_words": len(result.output or ()),
+    }
+
+
+def cmd_trace(args, out=None) -> int:
+    out = out or sys.stdout
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        if args.workload == "striped":
+            summary = run_traced_striped(
+                lambda: build_code(args),
+                groups=args.groups,
+                block_bytes=args.block_bytes,
+                seed=args.seed,
+            )
+        else:
+            summary = run_traced_mapreduce(
+                groups=args.groups, block_bytes=args.block_bytes, seed=args.seed
+            )
+    tracer.export(args.out)
+    print(f"wrote {len(tracer.spans)} spans to {args.out}", file=out)
+    print("open in https://ui.perfetto.dev or chrome://tracing", file=out)
+    for cat, count in tracer.categories().items():
+        print(f"  {cat or 'default':<18} {count:>6} spans", file=out)
+    print(json.dumps(summary, indent=2), file=out)
+    return 0
+
+
+def cmd_metrics(args, out=None) -> int:
+    out = out or sys.stdout
+    from repro.obs import profiled
+
+    with profiled() as profiler:
+        result = run_striped_stats(
+            lambda: build_code(args),
+            groups=args.groups,
+            block_bytes=args.block_bytes,
+            seed=args.seed,
+        )
+    payload = {
+        "code": result["code"],
+        "metrics": result["metrics_all"],
+        "plan_cache": result["plan_cache"],
+        "kernel_profile": profiler.snapshot(),
+        "derived": result["derived"],
+    }
+    print(json.dumps(payload, indent=2), file=out)
     return 0
 
 
@@ -431,6 +562,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--block-bytes", type=int, default=4096, help="block size cap (default 4096)")
     p.add_argument("--seed", type=int, default=0, help="payload RNG seed")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("trace", help="run a seeded workload under the tracer, export Chrome-trace JSON")
+    p.add_argument(
+        "workload", choices=("striped", "mapreduce"),
+        help="striped: write/degraded-read/repair; mapreduce: wordcount over a striped file",
+    )
+    _add_code_args(p)
+    p.add_argument("--out", default="trace.json", help="output trace path (default trace.json)")
+    p.add_argument("--groups", type=int, default=8, help="stripe groups (default 8)")
+    p.add_argument("--block-bytes", type=int, default=4096, help="block size cap (default 4096)")
+    p.add_argument("--seed", type=int, default=0, help="payload RNG seed")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("metrics", help="histograms, gauges, and kernel profile for a seeded workload")
+    _add_code_args(p)
+    p.add_argument("--groups", type=int, default=16, help="stripe groups to write (default 16)")
+    p.add_argument("--block-bytes", type=int, default=4096, help="block size cap (default 4096)")
+    p.add_argument("--seed", type=int, default=0, help="payload RNG seed")
+    p.set_defaults(func=cmd_metrics)
 
     return parser
 

@@ -39,9 +39,13 @@ matrix; :func:`mat_data_product` is the one-shot convenience on top of it.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.gf.field import GF, GFError
+from repro.obs.profile import get_profiler
+from repro.obs.trace import get_tracer
 
 #: Scratch budget for one gather chunk, in 64-bit words (~1.5 MiB).  The
 #: chunk length is this budget divided among the accumulator rows, the
@@ -219,6 +223,26 @@ class CodingPlan:
             raise GFError(f"output buffer must be {(self.m, s)} of {self.gf.dtype}")
         if s == 0:
             return out
+        tracer = get_tracer()
+        profiler = get_profiler()
+        if tracer.enabled or profiler.enabled:
+            kind = self.kernel
+            kernel = kind if kind == "copy" or s >= SMALL_PRODUCT_ELEMS else "direct-small"
+            t0 = perf_counter()
+            with tracer.span(
+                "gf.apply", category="gf", kernel=kernel,
+                rows=self.m, data_rows=self.n, columns=s,
+                bytes=data.nbytes + out.nbytes,
+            ):
+                self._compute(data, out, s)
+            if profiler.enabled:
+                profiler.record(kernel, perf_counter() - t0, data.nbytes + out.nbytes)
+        else:
+            self._compute(data, out, s)
+        return out
+
+    def _compute(self, data: np.ndarray, out: np.ndarray, s: int) -> None:
+        """The uninstrumented kernel body: copies, then the dense product."""
         if self._copy_dst.size:
             out[self._copy_dst] = data[self._copy_src]
         if self._dense_dst.size:
@@ -226,7 +250,6 @@ class CodingPlan:
                 self._apply_dense_direct(data, out)
             else:
                 self._apply_dense_packed(data, out)
-        return out
 
     __call__ = apply
 

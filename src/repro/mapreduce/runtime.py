@@ -28,6 +28,7 @@ from repro.cluster.server import MB
 from repro.mapreduce.inputformat import InputFormat, InputSplit
 from repro.mapreduce.job import JobResult, JobSpec, TaskRecord
 from repro.mapreduce.scheduler import LocalityScheduler, ScheduledTask
+from repro.obs.trace import get_tracer
 from repro.sim.engine import Simulation
 from repro.storage.filesystem import DistributedFileSystem
 
@@ -65,6 +66,43 @@ class MapReduceRuntime:
     # ---------------------------------------------------------------- phases
 
     def run(self, spec: JobSpec, input_format: InputFormat) -> JobResult:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("mr.job", category="mapreduce", job=spec.name) as sp:
+                result = self._run(spec, input_format)
+                sp.set(tasks=len(result.tasks), job_time=result.job_time)
+                self._emit_task_timeline(tracer, result)
+                return result
+        return self._run(spec, input_format)
+
+    def _emit_task_timeline(self, tracer, result: JobResult) -> None:
+        """Replay the finished job's task records onto sim-time tracks.
+
+        One trace row per server, so a Fig. 9-style run opens in Perfetto
+        as the cluster Gantt chart the paper draws by hand.
+        """
+        for rec in result.tasks:
+            tracer.sim_span(
+                rec.task_id,
+                category=f"mapreduce.{rec.kind}",
+                start=rec.start,
+                end=rec.finish,
+                track=rec.server,
+                track_name=f"server {rec.server}",
+                input_bytes=rec.input_bytes,
+                local=rec.local,
+            )
+        if result.shuffle_time:
+            tracer.sim_span(
+                "shuffle",
+                category="mapreduce.shuffle",
+                start=result.map_phase_time,
+                end=result.map_phase_time + result.shuffle_time,
+                track=-1,
+                track_name="shuffle",
+            )
+
+    def _run(self, spec: JobSpec, input_format: InputFormat) -> JobResult:
         splits = input_format.splits(self.dfs, spec.input_file)
         if not splits:
             raise ValueError(f"job {spec.name!r}: no input splits for {spec.input_file!r}")
@@ -99,6 +137,7 @@ class MapReduceRuntime:
             self.locality_delay,
             self.speculative,
             health=getattr(self.dfs, "health", None),
+            metrics=getattr(self.dfs, "metrics", None),
         )
         scheduler.run_phase(tasks)
         # With speculative execution a task may run twice; only the

@@ -70,6 +70,7 @@ class LocalityScheduler:
         speculative: bool = False,
         health=None,
         max_task_retries: int = 2,
+        metrics=None,
     ):
         """Args:
             sim: event engine the phase runs on.
@@ -90,6 +91,9 @@ class LocalityScheduler:
                 their own pending tasks to locality.
             max_task_retries: re-queues one task survives (after server
                 failures) before it fails terminally.
+            metrics: optional :class:`~repro.storage.metrics.MetricsRegistry`;
+                each dispatch observes the pending-queue depth
+                (``scheduler_queue_depth`` histogram).
         """
         self.sim = sim
         self.cluster = cluster
@@ -98,6 +102,7 @@ class LocalityScheduler:
         self.speculative = speculative
         self.health = health
         self.max_task_retries = max_task_retries
+        self.metrics = metrics
         self._slots = {s.server_id: getattr(s, slots_attr) for s in cluster.alive()}
         self._pending: list[ScheduledTask] = []
         self.assignments: list[Assignment] = []
@@ -209,6 +214,8 @@ class LocalityScheduler:
         return self.health is not None and self.health.is_open(server_id)
 
     def _dispatch(self, server_id: int) -> None:
+        if self.metrics is not None:
+            self.metrics.observe("scheduler_queue_depth", float(len(self._pending)))
         while self._slots.get(server_id, 0) > 0:
             task, local = self._pick(server_id)
             speculative = False

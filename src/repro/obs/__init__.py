@@ -1,0 +1,32 @@
+"""Unified observability: tracing, metrics primitives, profiling hooks.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, the metrics
+glossary and how to open an exported trace in Perfetto.
+"""
+
+from repro.obs.metrics import Gauge, Histogram
+from repro.obs.profile import KernelProfiler, get_profiler, profiled
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_profiler",
+    "get_tracer",
+    "profiled",
+    "set_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,330 @@
+"""Structured tracing: nested spans on wall-clock and simulated time.
+
+The tracer is the observability backbone of the reproduction: every hot
+path (sim event dispatch, DFS read/write/degraded decode, GF kernel
+applies, repair pipelines, MapReduce tasks) opens :class:`Span`\\ s keyed
+on both **wall time** (``time.perf_counter``) and, where a clock is
+available, **simulated time**.  Finished traces export as Chrome-trace
+JSON (the ``traceEvents`` format) loadable in Perfetto / ``chrome://tracing``,
+with the wall-clock timeline on one process track and the sim-time
+timeline on another — see ``docs/OBSERVABILITY.md`` for the span
+taxonomy.
+
+Tracing is **off by default** and must cost ~nothing when off: the
+module-level tracer is a :class:`NullTracer` singleton whose ``span``
+returns a shared no-op context manager (no allocation, no retained
+state), so instrumented code paths pay one attribute check.  Tests
+assert a traced and an untraced run of the same seeded workload produce
+byte-identical storage output and identical metrics.
+
+Usage::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_workload()
+    tracer.export("trace.json")       # open in https://ui.perfetto.dev
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+
+
+class Span:
+    """One traced operation: name, category, attributes, two time axes.
+
+    A span is also its own context manager; entering starts the clocks,
+    exiting stops them.  ``attrs`` may be updated while the span is open
+    (:meth:`set`), e.g. to record a result count discovered mid-way.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "attrs",
+        "wall_start",
+        "wall_dur",
+        "sim_start",
+        "sim_dur",
+        "parent",
+        "depth",
+        "track",
+        "_tracer",
+        "_clock",
+    )
+
+    def __init__(self, tracer, name: str, category: str, clock, attrs: dict):
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.wall_start: float | None = None
+        self.wall_dur: float = 0.0
+        self.sim_start: float | None = None
+        self.sim_dur: float = 0.0
+        self.parent: Span | None = None
+        self.depth = 0
+        self.track = 0
+        self._tracer = tracer
+        self._clock = clock
+
+    def set(self, **attrs) -> Span:
+        """Attach or update attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack
+        if stack:
+            self.parent = stack[-1]
+            self.depth = self.parent.depth + 1
+        stack.append(self)
+        tracer.spans.append(self)
+        if self._clock is not None:
+            self.sim_start = self._clock.now
+        self.wall_start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_dur = perf_counter() - self.wall_start
+        if self._clock is not None and self.sim_start is not None:
+            self.sim_dur = self._clock.now - self.sim_start
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, cat={self.category!r}, depth={self.depth})"
+
+
+class _NullSpan:
+    """Shared do-nothing span; the disabled-tracing fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every call is a no-op, nothing is retained."""
+
+    enabled = False
+    spans: tuple = ()
+
+    def span(self, name: str, category: str = "", clock=None, **attrs):
+        return _NULL_SPAN
+
+    def instant(self, name: str, category: str = "", clock=None, **attrs) -> None:
+        return None
+
+    def sim_span(
+        self, name: str, category: str, start: float, end: float, track: int = 0,
+        track_name: str | None = None, **attrs,
+    ) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans and exports Chrome-trace JSON.
+
+    Attributes:
+        spans: every span in start order (open spans included).
+        enabled: always True for a live tracer; instrumented hot loops
+            check this before building attribute dicts.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._epoch = perf_counter()
+        self._track_names: dict[int, str] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def span(self, name: str, category: str = "", clock=None, **attrs) -> Span:
+        """Open a span (use as a context manager).
+
+        Args:
+            name: span label (shown in the trace viewer).
+            category: taxonomy bucket — see ``docs/OBSERVABILITY.md``.
+            clock: optional object with a ``.now`` property (a
+                :class:`~repro.faults.clock.VirtualClock` or a
+                :class:`~repro.sim.engine.Simulation`); when given, the
+                span also records simulated start/duration.
+            **attrs: JSON-serializable attributes.
+        """
+        return Span(self, name, category, clock, attrs)
+
+    def instant(self, name: str, category: str = "", clock=None, **attrs) -> Span:
+        """Record a zero-duration point event (retries, hedges, faults)."""
+        span = Span(self, name, category, clock, attrs)
+        if self._stack:
+            span.parent = self._stack[-1]
+            span.depth = span.parent.depth + 1
+        span.wall_start = perf_counter()
+        if clock is not None:
+            span.sim_start = clock.now
+        self.spans.append(span)
+        return span
+
+    def sim_span(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        track: int = 0,
+        track_name: str | None = None,
+        **attrs,
+    ) -> Span:
+        """Record a completed span on the *sim-time* axis only.
+
+        Used for operations whose start/finish are known in simulated
+        seconds after the fact — MapReduce task records, resource waits —
+        so Fig. 9-style runs produce a loadable per-server timeline.
+        ``track`` picks the timeline row (e.g. the server id).
+        """
+        span = Span(self, name, category, None, attrs)
+        span.sim_start = float(start)
+        span.sim_dur = max(0.0, float(end) - float(start))
+        span.track = track
+        if track_name is not None:
+            self._track_names[track] = track_name
+        self.spans.append(span)
+        return span
+
+    # -------------------------------------------------------- introspection
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent is span]
+
+    def categories(self) -> dict[str, int]:
+        """Span count per category."""
+        out: dict[str, int] = {}
+        for s in self.spans:
+            out[s.category] = out.get(s.category, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -------------------------------------------------------------- export
+
+    #: Synthetic pids of the two exported timelines.
+    WALL_PID = 1
+    SIM_PID = 2
+
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome-trace ``traceEvents`` dict.
+
+        Wall-clock spans land on pid 1 (one thread — nesting is by time
+        containment); sim-time spans land on pid 2 with one thread per
+        track (server).  Timestamps are microseconds, as the format
+        requires.
+        """
+        events: list[dict] = [
+            {"ph": "M", "pid": self.WALL_PID, "name": "process_name",
+             "args": {"name": "wall-clock"}},
+            {"ph": "M", "pid": self.SIM_PID, "name": "process_name",
+             "args": {"name": "sim-time"}},
+        ]
+        for track, label in sorted(self._track_names.items()):
+            events.append(
+                {"ph": "M", "pid": self.SIM_PID, "tid": track,
+                 "name": "thread_name", "args": {"name": label}}
+            )
+        for s in self.spans:
+            args = {k: _jsonable(v) for k, v in s.attrs.items()}
+            if s.wall_start is not None:
+                events.append(
+                    {
+                        "name": s.name,
+                        "cat": s.category or "default",
+                        "ph": "X",
+                        "pid": self.WALL_PID,
+                        "tid": 0,
+                        "ts": (s.wall_start - self._epoch) * 1e6,
+                        "dur": s.wall_dur * 1e6,
+                        "args": args,
+                    }
+                )
+            if s.sim_start is not None:
+                events.append(
+                    {
+                        "name": s.name,
+                        "cat": s.category or "default",
+                        "ph": "X",
+                        "pid": self.SIM_PID,
+                        "tid": s.track,
+                        "ts": s.sim_start * 1e6,
+                        "dur": s.sim_dur * 1e6,
+                        "args": args,
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export(self, path) -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer({len(self.spans)} spans, {len(self._stack)} open)"
+
+
+def _jsonable(value):
+    """Coerce an attribute to something ``json.dump`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+# ------------------------------------------------------------ global tracer
+
+_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer (a no-op :data:`NULL_TRACER` by default)."""
+    return _tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` globally; ``None`` restores the null tracer."""
+    global _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Scoped :func:`set_tracer`: installs for the block, then restores."""
+    global _tracer
+    prev = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    try:
+        yield tracer
+    finally:
+        _tracer = prev

@@ -14,6 +14,8 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.obs.trace import get_tracer
+
 
 class SimulationError(RuntimeError):
     """Raised on invalid simulation operations (e.g. scheduling in the past)."""
@@ -111,6 +113,7 @@ class Simulation:
 
         Returns the simulation time afterwards.
         """
+        tracer = get_tracer()
         while self._heap:
             self._drop_cancelled_top()
             if not self._heap:
@@ -122,7 +125,13 @@ class Simulation:
             heapq.heappop(self._heap)
             self._now = ev.time
             self._processed += 1
-            ev.action()
+            if tracer.enabled:
+                # One span per dispatched event: wall time measures the
+                # handler, ``t`` pins it on the simulated timeline.
+                with tracer.span(ev.name or "event", category="sim", t=ev.time, seq=ev.seq):
+                    ev.action()
+            else:
+                ev.action()
         if until is not None:
             self._now = max(self._now, until)
         return self._now

@@ -11,10 +11,12 @@ consistent event ordering.
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.obs.trace import get_tracer
 from repro.sim.engine import Simulation, SimulationError
 
 
@@ -23,17 +25,26 @@ class _SlotRequest:
     duration: float
     on_done: Callable[[float], None]
     name: str
+    submitted: float = 0.0
 
 
 class SlotResource:
-    """``capacity`` parallel slots with a FIFO wait queue."""
+    """``capacity`` parallel slots with a FIFO wait queue.
 
-    def __init__(self, sim: Simulation, capacity: int, name: str = "slots"):
+    When a metrics registry is attached, every submit records the queue
+    depth it observed (``slot_queue_depth``) and every start records how
+    long the request waited for a slot (``slot_wait_s``) — the
+    resource-wait histograms of the observability layer.  Waits also
+    surface as sim-time spans when tracing is on.
+    """
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "slots", metrics=None):
         if capacity < 1:
             raise SimulationError(f"{name}: capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self.metrics = metrics
         self._busy = 0
         self._queue: deque[_SlotRequest] = deque()
         #: Total busy-time accumulated, for utilization accounting.
@@ -54,13 +65,24 @@ class SlotResource:
         """
         if duration < 0:
             raise SimulationError(f"{self.name}: negative task duration")
-        req = _SlotRequest(duration=duration, on_done=on_done, name=name)
+        req = _SlotRequest(duration=duration, on_done=on_done, name=name, submitted=self.sim.now)
+        if self.metrics is not None:
+            self.metrics.observe("slot_queue_depth", float(len(self._queue)))
         if self._busy < self.capacity:
             self._start(req)
         else:
             self._queue.append(req)
 
     def _start(self, req: _SlotRequest) -> None:
+        wait = self.sim.now - req.submitted
+        if self.metrics is not None:
+            self.metrics.observe("slot_wait_s", wait)
+        if wait > 0:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.sim_span(
+                    f"{self.name}.wait", "sim.wait", req.submitted, self.sim.now, task=req.name
+                )
         self._busy += 1
         self.busy_time += req.duration
 
@@ -107,5 +129,14 @@ class ThroughputResource:
         done = start + delay + nbytes / self.bandwidth
         self._free_at = done
         self.bytes_moved += int(nbytes)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Pipe occupancy on the sim timeline, one track per resource
+            # (disk/NIC rows in the trace viewer).
+            tracer.sim_span(
+                name or "transfer", "sim.io", start, done,
+                track=zlib.crc32(self.name.encode()) % 997,
+                track_name=self.name, bytes=int(nbytes),
+            )
         self.sim.schedule_at(done, lambda: on_done(done), name=f"{self.name}:{name}")
         return done

@@ -24,6 +24,7 @@ from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
 from repro.cluster.topology import Cluster
 from repro.codes.base import DecodingError, ErasureCode
 from repro.faults.clock import VirtualClock
+from repro.obs.trace import get_tracer
 from repro.storage.blockstore import BlockStore, BlockUnavailableError, StorageError
 from repro.storage.health import HealthMonitor
 from repro.storage.metrics import MetricsRegistry
@@ -174,15 +175,17 @@ class DistributedFileSystem:
             raise FileSystemError("pass exactly one of code / code_factory")
         placement = placement or RoundRobinPlacement()
 
-        if code_factory is not None:
-            # Two-phase: probe how many blocks by building with uniform
-            # performance, then rebuild with the placed servers' metrics.
-            probe = code_factory(None)
-            servers = placement.place(self.cluster, probe.n)
-            perf = self.cluster.performance_vector(servers, performance_metric)
-            code = code_factory(perf)
-        else:
-            servers = placement.place(self.cluster, code.n)
+        tracer = get_tracer()
+        with tracer.span("dfs.place", category="storage", file=name):
+            if code_factory is not None:
+                # Two-phase: probe how many blocks by building with uniform
+                # performance, then rebuild with the placed servers' metrics.
+                probe = code_factory(None)
+                servers = placement.place(self.cluster, probe.n)
+                perf = self.cluster.performance_vector(servers, performance_metric)
+                code = code_factory(perf)
+            else:
+                servers = placement.place(self.cluster, code.n)
 
         payload = self._as_symbols(code, payload)
         original_size = payload.size
@@ -192,10 +195,14 @@ class DistributedFileSystem:
             payload = np.concatenate([payload, np.zeros(padded - original_size, dtype=code.gf.dtype)])
         grid = payload.reshape(total, padded // total)
 
-        blocks = code.encode(grid)
+        with tracer.span("dfs.encode", category="coding", file=name, bytes=grid.nbytes):
+            blocks = code.encode(grid)
         placement_map = {b: servers[b] for b in range(code.n)}
-        for b in range(code.n):
-            self.store.put(servers[b], name, b, blocks[b])
+        with tracer.span(
+            "dfs.store_blocks", category="storage", file=name, blocks=code.n, clock=self.clock
+        ):
+            for b in range(code.n):
+                self.store.put(servers[b], name, b, blocks[b])
         ef = EncodedFile(
             name=name,
             code=code,
@@ -268,9 +275,14 @@ class DistributedFileSystem:
                 f"expected ({code.n}, {code.N}, S) blocks for {name!r}, got {blocks.shape}"
             )
         placement = placement or RoundRobinPlacement()
-        servers = placement.place(self.cluster, code.n)
-        for b in range(code.n):
-            self.store.put(servers[b], name, b, blocks[b])
+        tracer = get_tracer()
+        with tracer.span("dfs.place", category="storage", file=name):
+            servers = placement.place(self.cluster, code.n)
+        with tracer.span(
+            "dfs.store_blocks", category="storage", file=name, blocks=code.n, clock=self.clock
+        ):
+            for b in range(code.n):
+                self.store.put(servers[b], name, b, blocks[b])
         self.metrics.add("bytes_moved_zero_copy", blocks.nbytes)
         ef = EncodedFile(
             name=name,
@@ -309,9 +321,13 @@ class DistributedFileSystem:
     def read_file(self, name: str) -> bytes:
         """Read a whole file back, degraded-decoding if servers are down."""
         ef = self.file(name)
-        grid = self._read_all_stripes(ef)
-        flat = grid.reshape(-1)[: ef.original_size]
-        return flat.astype(np.uint8).tobytes() if ef.code.gf.q == 8 else flat.tobytes()
+        with get_tracer().span(
+            "dfs.read_file", category="storage", file=name,
+            bytes=ef.original_size * ef.code.gf.dtype.itemsize, clock=self.clock,
+        ):
+            grid = self._read_all_stripes(ef)
+            flat = grid.reshape(-1)[: ef.original_size]
+            return flat.astype(np.uint8).tobytes() if ef.code.gf.q == 8 else flat.tobytes()
 
     def read_file_into(self, name: str, out) -> int:
         """Read a whole file directly into a caller-supplied buffer.
@@ -329,6 +345,12 @@ class DistributedFileSystem:
         ef = self.file(name)
         nbytes = ef.original_size * ef.code.gf.dtype.itemsize
         view = memoryview(out)[:nbytes]
+        with get_tracer().span(
+            "dfs.read_file", category="storage", file=name, bytes=nbytes, clock=self.clock
+        ):
+            return self._read_file_into(ef, view, nbytes)
+
+    def _read_file_into(self, ef: EncodedFile, view: memoryview, nbytes: int) -> int:
         if ef.code.gf.q == 8 and ef.original_size == ef.padded_size:
             grid = np.frombuffer(view, dtype=np.uint8).reshape(
                 ef.code.data_stripe_total, ef.stripe_size
@@ -391,21 +413,25 @@ class DistributedFileSystem:
         self.metrics.add("degraded_reads", 1)
         code = ef.code
         excluded: set[int] = set()
-        while True:
-            chosen = self._plan_decode_blocks(ef, excluded)
-            available: dict[int, np.ndarray] = {}
-            failed_block: int | None = None
-            for b in chosen:
-                try:
-                    available[b] = self.client.get(ef.server_of(b), ef.name, b)
-                except BlockUnavailableError:
-                    failed_block = b
-                    break
-            if failed_block is not None:
-                excluded.add(failed_block)
-                self.metrics.add("decode_replans", 1)
-                continue
-            return code.decode(available)
+        with get_tracer().span(
+            "dfs.degraded_decode", category="storage", file=ef.name, clock=self.clock
+        ) as sp:
+            while True:
+                chosen = self._plan_decode_blocks(ef, excluded)
+                available: dict[int, np.ndarray] = {}
+                failed_block: int | None = None
+                for b in chosen:
+                    try:
+                        available[b] = self.client.get(ef.server_of(b), ef.name, b)
+                    except BlockUnavailableError:
+                        failed_block = b
+                        break
+                if failed_block is not None:
+                    excluded.add(failed_block)
+                    self.metrics.add("decode_replans", 1)
+                    continue
+                sp.set(blocks=chosen, replans=len(excluded))
+                return code.decode(available)
 
     def _plan_decode_blocks(self, ef: EncodedFile, excluded: set[int] | frozenset = frozenset()) -> list[int]:
         """Choose a minimal decodable block subset for a degraded read.
@@ -450,6 +476,16 @@ class DistributedFileSystem:
         into per-block range reads); anything else triggers one degraded
         decode for the whole file.
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "dfs.read_stripes", category="storage", file=name,
+                start=start, count=count, clock=self.clock,
+            ):
+                return self._read_stripes(name, start, count)
+        return self._read_stripes(name, start, count)
+
+    def _read_stripes(self, name: str, start: int, count: int) -> np.ndarray:
         ef = self.file(name)
         total = ef.code.data_stripe_total
         if start < 0 or start + count > total:

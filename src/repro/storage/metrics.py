@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import Gauge, Histogram
+
 
 @dataclass
 class Counter:
@@ -59,10 +61,25 @@ class MetricsRegistry:
       repair pipeline
     * ``scrub_reverified`` — rebuilt blocks whose fresh checksum the
       scrubber re-verified after a batched heal
+
+    Observability additions (see ``docs/OBSERVABILITY.md``):
+
+    * **Histograms** (:meth:`observe`) — ``read_latency_s`` (per-read
+      simulated latency), ``repair_wait_s`` (admission-control stalls),
+      ``repair_inflight`` (helper leases held at grant time),
+      ``slot_queue_depth`` / ``slot_wait_s`` and
+      ``scheduler_queue_depth`` (task queueing).
+    * **Gauges** (:meth:`set_gauge`) — ``plan_cache_hit_ratio``.
+
+    :meth:`snapshot` stays counters-only (the stable schema existing
+    callers consume); :meth:`snapshot_all` is the single API returning
+    counters, histogram summaries and gauges together.
     """
 
     def __init__(self):
         self._counters: dict[str, Counter] = defaultdict(Counter)
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     def add(self, name: str, amount: float = 1.0, server_id: int | None = None) -> None:
         self._counters[name].add(amount, server_id)
@@ -73,12 +90,49 @@ class MetricsRegistry:
     def by_server(self, name: str) -> dict[int, float]:
         return dict(self._counters[name].by_server)
 
+    # ------------------------------------------------- distributions / gauges
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created empty on first access)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        return hist
+
+    def set_gauge(self, name: str, value: float) -> None:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._gauges[name] = Gauge(value)
+        else:
+            gauge.set(value)
+
+    def gauge(self, name: str) -> float:
+        g = self._gauges.get(name)
+        return g.value if g is not None else 0.0
+
     def reset(self) -> None:
         self._counters.clear()
+        self._histograms.clear()
+        self._gauges.clear()
 
     def snapshot(self) -> dict[str, float]:
         """Totals of every counter, for reporting."""
         return {name: c.total for name, c in sorted(self._counters.items())}
+
+    def snapshot_all(self) -> dict:
+        """Counters, histogram summaries and gauges in one payload."""
+        return {
+            "counters": self.snapshot(),
+            "histograms": {n: self._histograms[n].summary() for n in sorted(self._histograms)},
+            "gauges": {n: self._gauges[n].value for n in sorted(self._gauges)},
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MetricsRegistry({self.snapshot()})"

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.codes.base import ErasureCode
 from repro.gf.kernels import CodingPlan
+from repro.obs.trace import get_tracer
 from repro.storage.metrics import MetricsRegistry
 
 
@@ -62,7 +63,11 @@ def batch_encode(
     for g in grids:
         if g.ndim != 2 or g.shape[0] != total:
             raise ValueError(f"expected ({total}, S) stripe grids, got shape {g.shape}")
-    outs = code.compile_encode().apply_batch(grids)
+    with get_tracer().span(
+        "pipeline.batch_encode", category="pipeline", groups=len(grids),
+        bytes=sum(g.nbytes for g in grids),
+    ):
+        outs = code.compile_encode().apply_batch(grids)
     _count_batch(metrics, len(grids))
     return [o.reshape(code.n, code.N, o.shape[1]) for o in outs]
 
@@ -89,19 +94,23 @@ def batch_decode(
         ids = tuple(sorted(available))
         buckets.setdefault(ids, []).append(i)
     results: list[np.ndarray | None] = [None] * len(availables)
-    for ids, members in buckets.items():
-        dp = code.compile_decode(ids)
-        segments = []
-        for i in members:
-            available = availables[i]
-            stripes = np.concatenate(
-                [np.asarray(available[b]).reshape(code.N, -1) for b in dp.ids], axis=0
-            )
-            segments.append(stripes[dp.rows])
-        outs = dp.plan.apply_batch(segments)
-        _count_batch(metrics, len(members))
-        for i, grid in zip(members, outs):
-            results[i] = grid
+    with get_tracer().span(
+        "pipeline.batch_decode", category="pipeline",
+        groups=len(availables), buckets=len(buckets),
+    ):
+        for ids, members in buckets.items():
+            dp = code.compile_decode(ids)
+            segments = []
+            for i in members:
+                available = availables[i]
+                stripes = np.concatenate(
+                    [np.asarray(available[b]).reshape(code.N, -1) for b in dp.ids], axis=0
+                )
+                segments.append(stripes[dp.rows])
+            outs = dp.plan.apply_batch(segments)
+            _count_batch(metrics, len(members))
+            for i, grid in zip(members, outs):
+                results[i] = grid
     return results  # type: ignore[return-value]
 
 
@@ -129,7 +138,11 @@ def batch_reconstruct(
                 [np.asarray(available[h]).reshape(code.N, -1) for h in helpers], axis=0
             )
         )
-    outs = compiled.apply_batch(segments)
+    with get_tracer().span(
+        "pipeline.batch_reconstruct", category="pipeline",
+        groups=len(segments), target=target,
+    ):
+        outs = compiled.apply_batch(segments)
     _count_batch(metrics, len(segments))
     return outs
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.topology import Cluster
 from repro.codes.base import DecodingError
+from repro.obs.trace import get_tracer
 from repro.storage import pipeline
 from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSystemError
@@ -67,6 +68,12 @@ class RepairAdmissionController:
         Blocks (in simulated time) until every server has a free token;
         returns the clock time the leases were granted.
         """
+        submitted = self.clock.now
+        if server_durations:
+            self.metrics.observe(
+                "repair_inflight",
+                max(float(self.inflight(sid)) for sid in server_durations),
+            )
         throttled = False
         while True:
             contended = [
@@ -82,6 +89,14 @@ class RepairAdmissionController:
                 self.metrics.add("repairs_throttled", 1)
             self.clock.advance(min(contended) - self.clock.now)
         now = self.clock.now
+        self.metrics.observe("repair_wait_s", now - submitted)
+        if throttled:
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.sim_span(
+                    "repair.throttle_wait", "repair", submitted, now,
+                    servers=sorted(server_durations),
+                )
         for sid, duration in server_durations.items():
             self._leases.setdefault(sid, []).append(now + duration)
         return now
@@ -206,86 +221,103 @@ class RepairManager:
             FileSystemError: when no live server can host the block (the
                 standard one-block-per-server rule is enforced).
         """
-        ef = self.dfs.file(file_name)
-        failed = self._dead_blocks(ef)
-        if block not in failed:
-            raise FileSystemError(
-                f"block {block} of {file_name!r} is not lost",
-                file=file_name,
-                block=block,
-                cause="not_lost",
-            )
-        block_bytes = ef.block_size * ef.code.gf.dtype.itemsize
-
-        # Helper reads go through the resilient client; a helper whose
-        # retries exhaust (flaky disk, tripped breaker, fresh crash) is
-        # added to the failed set and the repair re-planned with a
-        # different helper set, up to ``max_helper_replans`` times.
-        unreadable = set(failed)
-        replans = 0
-        while True:
-            try:
-                plan = ef.code.repair_plan(block, unreadable, preference=self._preference(ef))
-            except DecodingError as exc:
+        tracer = get_tracer()
+        with tracer.span(
+            "repair.block", category="repair", file=file_name, block=block, clock=self.dfs.clock
+        ) as sp:
+            ef = self.dfs.file(file_name)
+            failed = self._dead_blocks(ef)
+            if block not in failed:
                 raise FileSystemError(
-                    f"no helper set can rebuild block {block} of {file_name!r} "
-                    f"(unreadable blocks: {sorted(unreadable)})",
+                    f"block {block} of {file_name!r} is not lost",
                     file=file_name,
                     block=block,
-                    cause="helpers_exhausted",
-                ) from exc
-            helper_servers = {ef.server_of(h) for h in plan.helpers}
-            self.admission.acquire(
-                {
-                    s: sum(
-                        plan.read_fractions[h] * block_bytes
-                        for h in plan.helpers
-                        if ef.server_of(h) == s
-                    )
-                    / self.cluster.server(s).disk_bandwidth
-                    for s in helper_servers
-                }
-            )
-            available: dict[int, bytes] = {}
-            bytes_by_server: dict[int, int] = {}
-            bad_helper: int | None = None
-            for h in plan.helpers:
-                server = ef.server_of(h)
-                try:
-                    available[h] = self.dfs.client.get(server, file_name, h, plan.read_fractions[h])
-                except BlockUnavailableError as exc:
-                    bad_helper = h
-                    last_exc = exc
-                    break
-                bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
-                    plan.read_fractions[h] * block_bytes
+                    cause="not_lost",
                 )
-            if bad_helper is None:
-                break
-            unreadable.add(bad_helper)
-            replans += 1
-            self.dfs.metrics.add("repair_replans", 1)
-            if replans > self.max_helper_replans:
-                raise FileSystemError(
-                    f"repair of block {block} of {file_name!r} gave up after "
-                    f"{replans} helper re-plans",
-                    file=file_name,
-                    block=block,
-                    cause="helpers_exhausted",
-                ) from last_exc
+            block_bytes = ef.block_size * ef.code.gf.dtype.itemsize
 
-        # Reconstruction goes through the code's compiled-plan cache:
-        # repeated failures of the same (target, helpers) pattern — the
-        # normal shape of a repair storm — skip the linear algebra and jump
-        # straight to the table-gather kernel.  Surface cache effectiveness
-        # through the filesystem metrics.
-        hits_before = ef.code.plan_cache_info()["hits"]
-        rebuilt, plan = ef.code.reconstruct(block, available, plan)
-        self.dfs.metrics.add("plan_cache_hits", ef.code.plan_cache_info()["hits"] - hits_before)
+            # Helper reads go through the resilient client; a helper whose
+            # retries exhaust (flaky disk, tripped breaker, fresh crash) is
+            # added to the failed set and the repair re-planned with a
+            # different helper set, up to ``max_helper_replans`` times.
+            unreadable = set(failed)
+            replans = 0
+            with tracer.span(
+                "repair.helper_reads", category="repair", clock=self.dfs.clock
+            ) as read_sp:
+                while True:
+                    try:
+                        plan = ef.code.repair_plan(block, unreadable, preference=self._preference(ef))
+                    except DecodingError as exc:
+                        raise FileSystemError(
+                            f"no helper set can rebuild block {block} of {file_name!r} "
+                            f"(unreadable blocks: {sorted(unreadable)})",
+                            file=file_name,
+                            block=block,
+                            cause="helpers_exhausted",
+                        ) from exc
+                    helper_servers = {ef.server_of(h) for h in plan.helpers}
+                    self.admission.acquire(
+                        {
+                            s: sum(
+                                plan.read_fractions[h] * block_bytes
+                                for h in plan.helpers
+                                if ef.server_of(h) == s
+                            )
+                            / self.cluster.server(s).disk_bandwidth
+                            for s in helper_servers
+                        }
+                    )
+                    available: dict[int, bytes] = {}
+                    bytes_by_server: dict[int, int] = {}
+                    bad_helper: int | None = None
+                    for h in plan.helpers:
+                        server = ef.server_of(h)
+                        try:
+                            available[h] = self.dfs.client.get(
+                                server, file_name, h, plan.read_fractions[h]
+                            )
+                        except BlockUnavailableError as exc:
+                            bad_helper = h
+                            last_exc = exc
+                            break
+                        bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
+                            plan.read_fractions[h] * block_bytes
+                        )
+                    if bad_helper is None:
+                        break
+                    unreadable.add(bad_helper)
+                    replans += 1
+                    self.dfs.metrics.add("repair_replans", 1)
+                    if replans > self.max_helper_replans:
+                        raise FileSystemError(
+                            f"repair of block {block} of {file_name!r} gave up after "
+                            f"{replans} helper re-plans",
+                            file=file_name,
+                            block=block,
+                            cause="helpers_exhausted",
+                        ) from last_exc
+                read_sp.set(
+                    helpers=list(plan.helpers),
+                    replans=replans,
+                    bytes=sum(bytes_by_server.values()),
+                )
 
-        return self._install_rebuilt(
-            ef, file_name, block, rebuilt, plan, bytes_by_server, target_server
-        )
+            # Reconstruction goes through the code's compiled-plan cache:
+            # repeated failures of the same (target, helpers) pattern — the
+            # normal shape of a repair storm — skip the linear algebra and jump
+            # straight to the table-gather kernel.  Surface cache effectiveness
+            # through the filesystem metrics.
+            hits_before = ef.code.plan_cache_info()["hits"]
+            with tracer.span("repair.decode", category="repair", helpers=len(plan.helpers)):
+                rebuilt, plan = ef.code.reconstruct(block, available, plan)
+            self.dfs.metrics.add("plan_cache_hits", ef.code.plan_cache_info()["hits"] - hits_before)
+
+            report = self._install_rebuilt(
+                ef, file_name, block, rebuilt, plan, bytes_by_server, target_server
+            )
+            sp.set(target=report.target_server, bytes_read=report.bytes_read)
+            return report
 
     def _install_rebuilt(
         self,
@@ -303,7 +335,11 @@ class RepairManager:
             old_server = ef.placement.get(block)
             prefer_rack = self.cluster.server(old_server).rack if old_server is not None else None
             target_server = self._pick_target(ef, prefer_rack)
-        self.dfs.store.put(target_server, file_name, block, rebuilt)
+        tracer = get_tracer()
+        with tracer.span(
+            "repair.write", category="repair", target=target_server, bytes=block_bytes
+        ):
+            self.dfs.store.put(target_server, file_name, block, rebuilt)
         ef.placement[block] = target_server
         self.dfs.metrics.add("reconstructions", 1)
 
@@ -408,55 +444,74 @@ class RepairManager:
             key = (id(ef.code), block, plan.helpers)
             buckets.setdefault(key, []).append((file_name, block, ef, plan))
 
+        tracer = get_tracer()
         reports: list[RepairReport] = []
-        for (_, block, helpers), entries in buckets.items():
-            block_bytes = entries[0][2].block_size * entries[0][2].code.gf.dtype.itemsize
-            availables = []
-            accounting = []
-            ready = []
-            for file_name, _, ef, plan in entries:
-                helper_servers = {ef.server_of(h) for h in plan.helpers}
-                self.admission.acquire(
-                    {
-                        s: sum(
-                            plan.read_fractions[h] * block_bytes
-                            for h in plan.helpers
-                            if ef.server_of(h) == s
+        with tracer.span(
+            "repair.bulk", category="repair", targets=len(targets),
+            buckets=len(buckets), clock=self.dfs.clock,
+        ):
+            for (_, block, helpers), entries in buckets.items():
+                with tracer.span(
+                    "repair.bucket", category="repair", block=block,
+                    files=len(entries), helpers=list(helpers), clock=self.dfs.clock,
+                ):
+                    block_bytes = entries[0][2].block_size * entries[0][2].code.gf.dtype.itemsize
+                    availables = []
+                    accounting = []
+                    ready = []
+                    with tracer.span(
+                        "repair.helper_reads", category="repair", clock=self.dfs.clock
+                    ):
+                        for file_name, _, ef, plan in entries:
+                            helper_servers = {ef.server_of(h) for h in plan.helpers}
+                            self.admission.acquire(
+                                {
+                                    s: sum(
+                                        plan.read_fractions[h] * block_bytes
+                                        for h in plan.helpers
+                                        if ef.server_of(h) == s
+                                    )
+                                    / self.cluster.server(s).disk_bandwidth
+                                    for s in helper_servers
+                                }
+                            )
+                            available: dict[int, object] = {}
+                            bytes_by_server: dict[int, int] = {}
+                            try:
+                                for h in plan.helpers:
+                                    server = ef.server_of(h)
+                                    available[h] = self.dfs.client.get(
+                                        server, file_name, h, plan.read_fractions[h]
+                                    )
+                                    bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
+                                        plan.read_fractions[h] * block_bytes
+                                    )
+                            except BlockUnavailableError:
+                                # The per-block path owns the re-planning loop.
+                                fallback.append((file_name, block))
+                                continue
+                            availables.append(available)
+                            accounting.append(bytes_by_server)
+                            ready.append((file_name, ef, plan))
+                    if not ready:
+                        continue
+                    code = ready[0][1].code
+                    hits_before = code.plan_cache_info()["hits"]
+                    with tracer.span("repair.decode", category="repair", files=len(ready)):
+                        rebuilt = pipeline.batch_reconstruct(
+                            code, block, helpers, availables, metrics=self.dfs.metrics
                         )
-                        / self.cluster.server(s).disk_bandwidth
-                        for s in helper_servers
-                    }
-                )
-                available: dict[int, object] = {}
-                bytes_by_server: dict[int, int] = {}
-                try:
-                    for h in plan.helpers:
-                        server = ef.server_of(h)
-                        available[h] = self.dfs.client.get(
-                            server, file_name, h, plan.read_fractions[h]
+                    self.dfs.metrics.add(
+                        "plan_cache_hits", code.plan_cache_info()["hits"] - hits_before
+                    )
+                    for (file_name, ef, plan), built, bytes_by_server in zip(
+                        ready, rebuilt, accounting
+                    ):
+                        reports.append(
+                            self._install_rebuilt(
+                                ef, file_name, block, built, plan, bytes_by_server, None
+                            )
                         )
-                        bytes_by_server[server] = bytes_by_server.get(server, 0) + int(
-                            plan.read_fractions[h] * block_bytes
-                        )
-                except BlockUnavailableError:
-                    # The per-block path owns the re-planning loop.
-                    fallback.append((file_name, block))
-                    continue
-                availables.append(available)
-                accounting.append(bytes_by_server)
-                ready.append((file_name, ef, plan))
-            if not ready:
-                continue
-            code = ready[0][1].code
-            hits_before = code.plan_cache_info()["hits"]
-            rebuilt = pipeline.batch_reconstruct(
-                code, block, helpers, availables, metrics=self.dfs.metrics
-            )
-            self.dfs.metrics.add("plan_cache_hits", code.plan_cache_info()["hits"] - hits_before)
-            for (file_name, ef, plan), built, bytes_by_server in zip(ready, rebuilt, accounting):
-                reports.append(
-                    self._install_rebuilt(ef, file_name, block, built, plan, bytes_by_server, None)
-                )
         for file_name, block in fallback:
             reports.append(self.repair_block(file_name, block))
         return reports
@@ -469,23 +524,29 @@ class RepairManager:
         striped files sharing a code rebuild in fused kernel calls; the
         default repairs file by file (the seed path).
         """
-        report = ServerRepairReport(server=server_id)
-        lost: list[tuple[str, int]] = []
-        for name in self.dfs.list_files():
-            ef = self.dfs.file(name)
-            for b in sorted(ef.blocks_on_server(server_id)):
-                if (
-                    self.cluster.server(server_id).failed
-                    or server_id in self.quarantine
-                    or not self.dfs.store.holds(server_id, name, b)
-                ):
-                    lost.append((name, b))
-        if batch:
-            report.reports.extend(self.repair_blocks_bulk(lost))
-        else:
-            for name, b in lost:
-                report.reports.append(self.repair_block(name, b))
-        return report
+        tracer = get_tracer()
+        with tracer.span(
+            "repair.server", category="repair", server=server_id,
+            batch=batch, clock=self.dfs.clock,
+        ) as sp:
+            report = ServerRepairReport(server=server_id)
+            lost: list[tuple[str, int]] = []
+            for name in self.dfs.list_files():
+                ef = self.dfs.file(name)
+                for b in sorted(ef.blocks_on_server(server_id)):
+                    if (
+                        self.cluster.server(server_id).failed
+                        or server_id in self.quarantine
+                        or not self.dfs.store.holds(server_id, name, b)
+                    ):
+                        lost.append((name, b))
+            sp.set(blocks=len(lost))
+            if batch:
+                report.reports.extend(self.repair_blocks_bulk(lost))
+            else:
+                for name, b in lost:
+                    report.reports.append(self.repair_block(name, b))
+            return report
 
     def repair_all(self, batch: bool = False) -> list[RepairReport]:
         """Sweep the namespace and rebuild everything missing.

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.clock import VirtualClock
+from repro.obs.trace import get_tracer
 from repro.storage.blockstore import BlockStore, BlockUnavailableError, TransientReadError
 from repro.storage.health import HealthMonitor
 from repro.storage.metrics import MetricsRegistry
@@ -124,6 +125,7 @@ class ResilientBlockClient:
                 block=block_id,
                 cause="breaker_open",
             )
+        tracer = get_tracer()
         last_exc: BlockUnavailableError | None = None
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
@@ -131,6 +133,12 @@ class ResilientBlockClient:
                 self.backoff_history.append(delay)
                 self.clock.advance(delay)
                 self.metrics.add("retries", 1, server_id)
+                if tracer.enabled:
+                    tracer.instant(
+                        "resilient.retry", category="resilient", server=server_id,
+                        file=file_name, block=block_id, attempt=attempt,
+                        clock=self.clock,
+                    )
             try:
                 data, latency = op()
             except TransientReadError as exc:
@@ -142,6 +150,12 @@ class ResilientBlockClient:
                 # The caller gives up at the deadline; the stuck read is
                 # abandoned and charged as an error against the server.
                 self.metrics.add("read_timeouts", 1, server_id)
+                if tracer.enabled:
+                    tracer.instant(
+                        "resilient.timeout", category="resilient", server=server_id,
+                        file=file_name, block=block_id, latency=latency,
+                        clock=self.clock,
+                    )
                 self.health.record_error(server_id)
                 self.clock.advance(base + policy.read_timeout)
                 last_exc = BlockUnavailableError(
@@ -154,8 +168,15 @@ class ResilientBlockClient:
                 )
                 continue
             if policy.hedge_threshold is not None and latency - base > policy.hedge_threshold:
+                if tracer.enabled:
+                    tracer.instant(
+                        "resilient.hedge", category="resilient", server=server_id,
+                        file=file_name, block=block_id, latency=latency,
+                        clock=self.clock,
+                    )
                 data, latency = self._hedge(server_id, data, latency, base, op, alternates)
             self.clock.advance(latency)
+            self.metrics.observe("read_latency_s", latency)
             self.health.record_success(server_id, latency)
             return data
         raise BlockUnavailableError(

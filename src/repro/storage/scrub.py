@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.trace import get_tracer
 from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem
 from repro.storage.health import HealthMonitor
@@ -105,13 +106,18 @@ class Scrubber:
         re-verified in place (``reverified`` / the ``scrub_reverified``
         metric).
         """
-        report = ScrubReport()
-        deferred: list[tuple[str, int]] | None = [] if batch else None
-        for name in self.dfs.list_files():
-            self._scrub_into(name, report, heal, deferred)
-        self._heal_deferred(report, deferred)
-        self.repair.quarantine -= report.quarantined_servers
-        return report
+        with get_tracer().span(
+            "scrub.pass", category="scrub", heal=heal, batch=batch,
+            clock=self.dfs.clock,
+        ) as sp:
+            report = ScrubReport()
+            deferred: list[tuple[str, int]] | None = [] if batch else None
+            for name in self.dfs.list_files():
+                self._scrub_into(name, report, heal, deferred)
+            self._heal_deferred(report, deferred)
+            self.repair.quarantine -= report.quarantined_servers
+            sp.set(checked=report.blocks_checked, corrupted=len(report.corrupted))
+            return report
 
     def scrub_file(self, name: str, heal: bool = True, batch: bool = False) -> ScrubReport:
         """Scrub a single file."""
@@ -128,14 +134,31 @@ class Scrubber:
         """Batched heal: fused rebuild, then re-verify every new copy."""
         if not deferred:
             return
-        repairs = self.repair.repair_blocks_bulk(deferred)
-        report.repairs.extend(repairs)
-        for rep in repairs:
-            if self.dfs.store.verify(rep.target_server, rep.file, rep.block):
-                report.reverified += 1
-                self.dfs.metrics.add("scrub_reverified", 1, rep.target_server)
+        with get_tracer().span(
+            "scrub.heal", category="scrub", blocks=len(deferred), clock=self.dfs.clock
+        ):
+            repairs = self.repair.repair_blocks_bulk(deferred)
+            report.repairs.extend(repairs)
+            for rep in repairs:
+                if self.dfs.store.verify(rep.target_server, rep.file, rep.block):
+                    report.reverified += 1
+                    self.dfs.metrics.add("scrub_reverified", 1, rep.target_server)
 
     def _scrub_into(
+        self,
+        name: str,
+        report: ScrubReport,
+        heal: bool,
+        deferred: list[tuple[str, int]] | None = None,
+    ) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("scrub.file", category="scrub", file=name, clock=self.dfs.clock):
+                self._scrub_into_impl(name, report, heal, deferred)
+        else:
+            self._scrub_into_impl(name, report, heal, deferred)
+
+    def _scrub_into_impl(
         self,
         name: str,
         report: ScrubReport,

@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.placement import PlacementPolicy, RoundRobinPlacement
 from repro.codes.base import DecodingError
 from repro.mapreduce.inputformat import GalloperInputFormat, InputFormat, InputSplit
+from repro.obs.trace import get_tracer
 from repro.storage import pipeline
 from repro.storage.blockstore import BlockUnavailableError
 from repro.storage.filesystem import DistributedFileSystem, FileSystemError
@@ -126,15 +127,20 @@ class StripedFileSystem:
             group_payload=group_payload,
             group_count=group_count,
         )
-        if batch and share_code and group_count > 1:
-            self._write_batched(name, data, probe, meta, placement)
-        else:
-            view = memoryview(data)
-            for i in range(group_count):
-                chunk = view[i * group_payload : (i + 1) * group_payload]
-                pol = placement or RoundRobinPlacement(offset=i * probe.n)
-                code = probe if share_code else code_factory()
-                self.dfs.write_file(group_name(name, i), chunk, code=code, placement=pol)
+        with get_tracer().span(
+            "sfs.write_file", category="storage", file=name,
+            bytes=len(data), groups=group_count, batch=batch,
+            clock=getattr(self.dfs, "clock", None),
+        ):
+            if batch and share_code and group_count > 1:
+                self._write_batched(name, data, probe, meta, placement)
+            else:
+                view = memoryview(data)
+                for i in range(group_count):
+                    chunk = view[i * group_payload : (i + 1) * group_payload]
+                    pol = placement or RoundRobinPlacement(offset=i * probe.n)
+                    code = probe if share_code else code_factory()
+                    self.dfs.write_file(group_name(name, i), chunk, code=code, placement=pol)
         self.striped[name] = meta
         return meta
 
@@ -210,6 +216,17 @@ class StripedFileSystem:
         preallocated buffer instead of ``b"".join``.
         """
         meta = self.file(name)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "sfs.read_file", category="storage", file=name,
+                bytes=meta.original_size, groups=meta.group_count, batch=batch,
+                clock=getattr(self.dfs, "clock", None),
+            ):
+                return self._read_file(meta, name, batch)
+        return self._read_file(meta, name, batch)
+
+    def _read_file(self, meta: StripedFileMeta, name: str, batch: bool) -> bytes:
         buf = bytearray(meta.original_size)
         view = memoryview(buf)
         if not batch:
@@ -260,6 +277,15 @@ class StripedFileSystem:
         block reads fail mid-bucket falls back to the per-file degraded
         decode, which re-plans around flaky helpers.
         """
+        tracer = get_tracer()
+        span = tracer.span(
+            "sfs.batch_degraded_decode", category="coding", groups=len(pending),
+            clock=getattr(self.dfs, "clock", None),
+        )
+        with span:
+            self._batch_degraded_decode_impl(pending)
+
+    def _batch_degraded_decode_impl(self, pending) -> None:
         dfs = self.dfs
         buckets: dict[tuple[int, tuple[int, ...]], list] = {}
         fallback: list = []

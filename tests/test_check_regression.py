@@ -1,0 +1,192 @@
+"""Tests for the CI regression gate (benchmarks/check_regression.py).
+
+The gate must pass on the committed baselines fed back to itself and
+fail on an injected synthetic slowdown — the acceptance criteria for
+the benchmark CI wiring.  No live benchmark runs here: the tests use
+the ``--fresh-*`` file hooks and monkeypatched measure functions.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py")
+cr = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cr)
+
+
+@pytest.fixture(scope="module")
+def kernels_baseline():
+    return json.loads((REPO_ROOT / "BENCH_kernels.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def striped_baseline():
+    return json.loads((REPO_ROOT / "BENCH_striped.json").read_text())
+
+
+def slowed(record: dict, factor: float = 0.5) -> dict:
+    """A copy of ``record`` with every headline ratio scaled by ``factor``."""
+    out = dict(record)
+    for metrics in cr.HEADLINE.values():
+        for metric in metrics:
+            if metric in out:
+                out[metric] = float(out[metric]) * factor
+    return out
+
+
+class TestCompare:
+    def test_baseline_vs_itself_passes(self, kernels_baseline, striped_baseline):
+        assert cr.compare("kernels", kernels_baseline, kernels_baseline) == []
+        assert cr.compare("striped", striped_baseline, striped_baseline) == []
+
+    def test_drop_beyond_tolerance_fails(self, striped_baseline):
+        fails = cr.compare("striped", striped_baseline, slowed(striped_baseline, 0.5))
+        assert fails
+        assert any("min_encode_speedup" in f for f in fails)
+
+    def test_drop_within_tolerance_passes(self):
+        baseline = {"min_encode_speedup": 4.0, "min_repair_speedup": 3.0}
+        fresh = {"min_encode_speedup": 3.2, "min_repair_speedup": 2.4}  # -20%
+        assert cr.compare("striped", baseline, fresh, tolerance=0.25) == []
+
+    def test_tolerance_knob(self):
+        baseline = {"min_encode_speedup": 4.0, "min_repair_speedup": 4.0}
+        fresh = {"min_encode_speedup": 3.5, "min_repair_speedup": 3.5}  # -12.5%
+        assert cr.compare("striped", baseline, fresh, tolerance=0.25) == []
+        assert cr.compare("striped", baseline, fresh, tolerance=0.05)
+
+    def test_floor_violation_despite_tolerance(self):
+        # Within 25% of a weak baseline, but under the absolute 2x floor.
+        baseline = {"min_encode_speedup": 2.4, "min_repair_speedup": 2.4}
+        fresh = {"min_encode_speedup": 1.9, "min_repair_speedup": 2.1}
+        fails = cr.compare("striped", baseline, fresh, tolerance=0.25)
+        assert len(fails) == 1
+        assert "absolute floor" in fails[0]
+        assert "min_encode_speedup" in fails[0]
+
+    def test_floors_skippable_for_quick_runs(self):
+        baseline = {"min_encode_speedup": 1.6, "min_repair_speedup": 2.0}
+        fresh = {"min_encode_speedup": 1.55, "min_repair_speedup": 1.9}
+        assert cr.compare("striped", baseline, fresh, floors=False) == []
+        assert cr.compare("striped", baseline, fresh, floors=True)
+
+    def test_missing_metric_flagged(self, kernels_baseline):
+        fresh = {k: v for k, v in kernels_baseline.items() if k != "plan_cache_speedup"}
+        fails = cr.compare("kernels", kernels_baseline, fresh)
+        assert any("missing headline metric" in f and "plan_cache_speedup" in f
+                   for f in fails)
+        fails = cr.compare("kernels", fresh, kernels_baseline)
+        assert any("baseline is missing" in f for f in fails)
+
+    def test_every_headline_metric_has_a_baseline(self, kernels_baseline, striped_baseline):
+        # The committed trajectories must actually carry the gated metrics.
+        for metric in cr.HEADLINE["kernels"]:
+            assert metric in kernels_baseline
+        for metric in cr.HEADLINE["striped"]:
+            assert metric in striped_baseline
+
+
+class TestBaselineRecord:
+    def test_full_run_uses_top_level(self, striped_baseline):
+        assert cr.baseline_record("striped", striped_baseline, quick=False) is striped_baseline
+
+    def test_kernels_ignore_quick_flag(self, kernels_baseline):
+        assert cr.baseline_record("kernels", kernels_baseline, quick=True) is kernels_baseline
+
+    def test_quick_striped_picks_latest_quick_run(self):
+        data = {
+            "min_encode_speedup": 4.9,
+            "runs": [
+                {"quick": False, "min_encode_speedup": 4.9},
+                {"quick": True, "min_encode_speedup": 1.5},
+                {"quick": True, "min_encode_speedup": 1.6},
+            ],
+        }
+        picked = cr.baseline_record("striped", data, quick=True)
+        assert picked["min_encode_speedup"] == 1.6
+
+    def test_quick_striped_without_quick_history_is_none(self):
+        data = {"min_encode_speedup": 4.9, "runs": [{"quick": False}]}
+        assert cr.baseline_record("striped", data, quick=True) is None
+        assert cr.baseline_record("striped", {"runs": []}, quick=True) is None
+
+    def test_committed_striped_baseline_has_quick_run(self, striped_baseline):
+        # bench-smoke CI depends on a quick baseline existing in the history.
+        assert cr.baseline_record("striped", striped_baseline, quick=True) is not None
+
+
+class TestMain:
+    def _write(self, tmp_path, name, record):
+        path = tmp_path / name
+        path.write_text(json.dumps(record))
+        return path
+
+    def test_committed_baselines_pass(self, tmp_path, kernels_baseline, striped_baseline, capsys):
+        fk = self._write(tmp_path, "k.json", kernels_baseline)
+        fs = self._write(tmp_path, "s.json", striped_baseline)
+        assert cr.main(["--fresh-kernels", str(fk), "--fresh-striped", str(fs)]) == 0
+        captured = capsys.readouterr()
+        assert "regression gate passed" in captured.out
+        assert "kernels.plan_cache_speedup" in captured.out
+
+    def test_injected_slowdown_fails(self, tmp_path, kernels_baseline, striped_baseline, capsys):
+        fk = self._write(tmp_path, "k.json", slowed(kernels_baseline, 0.5))
+        fs = self._write(tmp_path, "s.json", striped_baseline)
+        assert cr.main(["--fresh-kernels", str(fk), "--fresh-striped", str(fs)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION GATE FAILED" in captured.err
+        assert "gf16_kernel_speedup" in captured.err
+
+    def test_only_filters_family(self, tmp_path, kernels_baseline, striped_baseline):
+        # A slowed striped file is never read when gating kernels only.
+        fk = self._write(tmp_path, "k.json", kernels_baseline)
+        fs = self._write(tmp_path, "s.json", slowed(striped_baseline, 0.1))
+        args = ["--fresh-kernels", str(fk), "--fresh-striped", str(fs)]
+        assert cr.main(["--only", "kernels", *args]) == 0
+        assert cr.main(["--only", "striped", *args]) == 1
+
+    def test_monkeypatched_measurement_slowdown_fails(
+        self, monkeypatch, kernels_baseline, striped_baseline, capsys
+    ):
+        # The full no-hooks path: live measurement comes back slow -> exit 1.
+        monkeypatch.setattr(cr, "measure_kernels", lambda: slowed(kernels_baseline, 0.5))
+        monkeypatch.setattr(cr, "measure_striped", lambda quick: slowed(striped_baseline, 0.5))
+        assert cr.main([]) == 1
+        assert "REGRESSION GATE FAILED" in capsys.readouterr().err
+
+    def test_monkeypatched_measurement_steady_passes(
+        self, monkeypatch, kernels_baseline, striped_baseline
+    ):
+        monkeypatch.setattr(cr, "measure_kernels", lambda: dict(kernels_baseline))
+        monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(striped_baseline))
+        assert cr.main([]) == 0
+
+    def test_quick_mode_compares_against_quick_history(
+        self, monkeypatch, kernels_baseline, striped_baseline
+    ):
+        quick_base = cr.baseline_record("striped", striped_baseline, quick=True)
+        assert quick_base is not None
+        monkeypatch.setattr(cr, "measure_kernels", lambda: dict(kernels_baseline))
+        monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(quick_base))
+        # Quick ratios sit far below the full-run floors; --quick must still pass.
+        assert cr.main(["--quick"]) == 0
+
+    def test_tolerance_validation(self):
+        with pytest.raises(SystemExit):
+            cr.main(["--tolerance", "1.5"])
+        with pytest.raises(SystemExit):
+            cr.main(["--tolerance", "-0.1"])
+
+    def test_invalid_fresh_file_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit):
+            cr.main(["--only", "kernels", "--fresh-kernels", str(bad)])
+        with pytest.raises(SystemExit):
+            cr.main(["--only", "kernels", "--fresh-kernels", str(tmp_path / "missing.json")])

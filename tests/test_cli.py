@@ -154,3 +154,41 @@ class TestFigures:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestStatsSchema:
+    """`repro stats` JSON must keep a stable schema across code families."""
+
+    TOP_KEYS = {"code", "groups", "payload_bytes", "blocks_rebuilt",
+                "plan_cache", "metrics", "metrics_all", "derived"}
+
+    def _stats(self, capsys, *code_args):
+        assert run("stats", "--groups", 4, "--block-bytes", 2048, *code_args) == 0
+        return json.loads(capsys.readouterr().out)
+
+    @pytest.mark.parametrize("code_args", [
+        ("--code", "rs", "--k", "4", "--g", "2"),
+        ("--code", "pyramid", "--k", "4", "--l", "2", "--g", "1"),
+        ("--code", "galloper", "--k", "4", "--l", "2", "--g", "1"),
+    ], ids=["rs", "pyramid", "galloper"])
+    def test_schema_stable_across_codes(self, capsys, code_args):
+        payload = self._stats(capsys, *code_args)
+        assert set(payload) == self.TOP_KEYS
+        assert set(payload["plan_cache"]) == {"size", "maxsize", "hits", "misses"}
+        assert set(payload["metrics_all"]) == {"counters", "histograms", "gauges"}
+        assert set(payload["derived"]) == {"groups_per_apply", "zero_copy_fraction"}
+        assert payload["metrics_all"]["counters"] == payload["metrics"]
+        assert payload["metrics_all"]["gauges"]["plan_cache_hit_ratio"] >= 0.0
+        assert payload["blocks_rebuilt"] > 0
+        assert payload["groups"] >= 4
+
+    def test_fused_repair_compiles_one_plan(self, capsys):
+        payload = self._stats(capsys, "--code", "galloper")
+        # All groups share one (block, helpers) bucket, so the batched
+        # repair compiles exactly one reconstruct plan for the whole storm.
+        cache = payload["plan_cache"]
+        assert cache["misses"] == 1
+        lookups = cache["hits"] + cache["misses"]
+        gauge = payload["metrics_all"]["gauges"]["plan_cache_hit_ratio"]
+        assert gauge == pytest.approx(cache["hits"] / lookups)
+        assert payload["derived"]["groups_per_apply"] >= 2.0
