@@ -38,7 +38,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Headline metrics per benchmark file: all dimensionless speedup ratios.
 HEADLINE = {
-    "kernels": ("plan_cache_speedup", "gf16_kernel_speedup", "gf16_encode_speedup"),
+    "kernels": (
+        "plan_cache_speedup",
+        "gf16_kernel_speedup",
+        "gf16_encode_speedup",
+        "xor_encode_speedup",
+        "xor_repair_speedup",
+    ),
     "striped": ("min_encode_speedup", "min_repair_speedup"),
 }
 
@@ -54,6 +60,10 @@ FLOORS = {
     "min_repair_speedup": 2.0,
     "plan_cache_speedup": 2.0,
     "gf16_kernel_speedup": 2.0,
+    # Acceptance bar for the XOR-schedule tier: >= 1.5x over the table
+    # kernel on a GF(2^8) encode shape (measured ~6x; repair ~20x).
+    "xor_encode_speedup": 1.5,
+    "xor_repair_speedup": 2.0,
 }
 
 
@@ -92,13 +102,12 @@ def baseline_record(name: str, data: dict, quick: bool) -> dict | None:
     """Pick the baseline record a fresh run should be compared against.
 
     The trajectory files carry full-run metrics at the top level; quick
-    runs (16 groups vs 64) reach structurally lower speedups, so a quick
-    fresh run must compare against the latest recorded *quick* run, not
-    the full baseline.  The kernels bench has no quick mode, so its
-    top-level record serves both.  Returns ``None`` when no matching
-    baseline exists.
+    runs (smaller payloads / group counts) reach structurally different
+    speedups, so a quick fresh run must compare against the latest
+    recorded *quick* run in the history, not the full baseline.  Returns
+    ``None`` when no matching baseline exists.
     """
-    if not quick or name == "kernels":
+    if not quick:
         return data
     for run in reversed(data.get("runs", [])):
         if run.get("quick"):
@@ -106,14 +115,14 @@ def baseline_record(name: str, data: dict, quick: bool) -> dict | None:
     return None
 
 
-def measure_kernels() -> dict:
+def measure_kernels(quick: bool) -> dict:
     """Run the kernel benchmark in-process and return its record."""
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
     try:
         import run_kernels
     finally:
         sys.path.pop(0)
-    return run_kernels.run()
+    return run_kernels.run(quick)
 
 
 def measure_striped(quick: bool) -> dict:
@@ -167,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"`PYTHONPATH=src python benchmarks/run_{name}.py --quick`"
             )
         if name == "kernels":
-            fresh = _load(args.fresh_kernels) if args.fresh_kernels else measure_kernels()
+            fresh = _load(args.fresh_kernels) if args.fresh_kernels else measure_kernels(args.quick)
         else:
             fresh = _load(args.fresh_striped) if args.fresh_striped else measure_striped(args.quick)
         fails = compare(name, baseline, fresh, tolerance=args.tolerance, floors=not args.quick)

@@ -1,14 +1,20 @@
 """Kernel benchmark runner: writes the BENCH_kernels.json trajectory file.
 
-Runs the three kernel experiments from :mod:`repro.bench.experiments` —
+Runs the kernel experiments from :mod:`repro.bench.experiments` —
 encode/decode/reconstruct throughput, plan-cache cold/warm reconstruction,
-and the GF(2^16) packed-kernel-vs-log/antilog comparison — and appends one
-run record to ``BENCH_kernels.json`` at the repository root, keeping the
-history so the numbers can be tracked across commits.
+the GF(2^16) packed-kernel-vs-log/antilog comparison, and the
+XOR-schedule-tier-vs-table comparison — and appends one run record to
+``BENCH_kernels.json`` at the repository root, keeping the history so the
+numbers can be tracked across commits.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_kernels.py [--out PATH]
+    PYTHONPATH=src python benchmarks/run_kernels.py [--quick] [--out PATH]
+
+``--quick`` shrinks payloads and repeat counts for CI smoke: the record
+is appended to the trajectory history (the regression gate compares it
+against the latest quick run) without overwriting the full-run headline
+metrics at the top level.
 
 Headline fields (also printed):
 
@@ -18,6 +24,10 @@ Headline fields (also printed):
   fallback on the dense GF(2^16) parity kernel (no unit coefficients).
 * ``gf16_encode_speedup`` — the same comparison end-to-end for a full
   rs(6, 4) encode, where both sides get systematic rows nearly free.
+* ``xor_encode_speedup`` — the XOR-schedule tier vs the packed tables on
+  the rs(10, 1) GF(2^8) encode (single parity: an all-ones XOR row).
+* ``xor_repair_speedup`` — the same comparison for the Galloper local
+  repair plan (0/1 reconstruction coefficients).
 """
 
 from __future__ import annotations
@@ -34,18 +44,35 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 import numpy as np
 
 from repro.bench.experiments import (
+    MB,
     gf16_kernel_speedup,
     kernel_throughput,
     plan_cache_speedup,
+    xor_schedule_speedup,
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
+HEADLINE_KEYS = (
+    "plan_cache_speedup",
+    "gf16_kernel_speedup",
+    "gf16_encode_speedup",
+    "xor_encode_speedup",
+    "xor_repair_speedup",
+)
 
-def run() -> dict:
-    throughput = kernel_throughput()
-    cache = plan_cache_speedup()
-    gf16 = gf16_kernel_speedup()
+
+def run(quick: bool = False) -> dict:
+    if quick:
+        throughput = kernel_throughput(block_bytes=256 * 1024, repeats=2)
+        cache = plan_cache_speedup(block_bytes=8 * 1024, repeats=3)
+        gf16 = gf16_kernel_speedup(block_bytes=MB // 4, repeats=3)
+        xor = xor_schedule_speedup(block_bytes=MB // 4, repeats=3)
+    else:
+        throughput = kernel_throughput()
+        cache = plan_cache_speedup()
+        gf16 = gf16_kernel_speedup()
+        xor = xor_schedule_speedup()
 
     cache_by_code = {row["code"]: row["speedup"] for row in cache.rows}
     gf16_speedups = {
@@ -53,23 +80,29 @@ def run() -> dict:
         for row in gf16.rows
         if row["kernel"] != "log/antilog (seed)"
     }
+    xor_by_shape = {(row["shape"], row["field"]): row["speedup"] for row in xor.rows}
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "quick": quick,
         # Headline metrics.
         "plan_cache_speedup": cache_by_code["galloper"],
         "gf16_kernel_speedup": gf16_speedups["dense kernel"],
         "gf16_encode_speedup": gf16_speedups["rs encode"],
+        "xor_encode_speedup": xor_by_shape[("rs(10,1) encode", "GF(2^8)")],
+        "xor_repair_speedup": xor_by_shape[("galloper(4,2,1) local repair", "GF(2^8)")],
         # Full tables.
         "kernel_throughput": {"note": throughput.notes, "rows": throughput.rows},
         "plan_cache": {"note": cache.notes, "rows": cache.rows},
         "gf16": {"note": gf16.notes, "rows": gf16.rows},
+        "xor_schedule": {"note": xor.notes, "rows": xor.rows},
     }
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI smoke run")
     parser.add_argument(
         "--out",
         type=pathlib.Path,
@@ -78,26 +111,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    record = run()
+    record = run(args.quick)
     history: list[dict] = []
+    previous: dict = {}
     if args.out.exists():
         try:
-            history = json.loads(args.out.read_text()).get("runs", [])
+            previous = json.loads(args.out.read_text())
+            history = previous.get("runs", [])
         except (json.JSONDecodeError, AttributeError):
-            history = []
+            previous, history = {}, []
     history.append(record)
-    payload = {
-        "plan_cache_speedup": record["plan_cache_speedup"],
-        "gf16_kernel_speedup": record["gf16_kernel_speedup"],
-        "gf16_encode_speedup": record["gf16_encode_speedup"],
-        "runs": history,
-    }
+    if args.quick and previous.get("plan_cache_speedup") is not None:
+        # Quick runs use a smaller workload whose ratios are not
+        # comparable to the full bench; append to the trajectory (the
+        # regression gate reads the latest quick run from there) but
+        # keep the full-run headline metrics at the top level.
+        headline = {k: previous[k] for k in HEADLINE_KEYS if k in previous}
+    else:
+        headline = {k: record[k] for k in HEADLINE_KEYS}
+    payload = {**headline, "runs": history}
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"wrote {args.out}")
     print(f"  plan_cache_speedup  (galloper reconstruct, cold/warm): {record['plan_cache_speedup']:.2f}x")
     print(f"  gf16_kernel_speedup (dense parity kernel vs log/antilog): {record['gf16_kernel_speedup']:.2f}x")
     print(f"  gf16_encode_speedup (rs(6,4) end-to-end encode): {record['gf16_encode_speedup']:.2f}x")
+    print(f"  xor_encode_speedup  (rs(10,1) single-parity encode, xor vs table): {record['xor_encode_speedup']:.2f}x")
+    print(f"  xor_repair_speedup  (galloper local repair, xor vs table): {record['xor_repair_speedup']:.2f}x")
+    for row in record["xor_schedule"]["rows"]:
+        print(
+            f"  {row['shape']:>28} {row['field']:>9}: auto={row['auto']:<11} "
+            f"xor {row['speedup']:5.2f}x (xors {row['raw_xors']} -> {row['xors']})"
+        )
     for row in record["kernel_throughput"]["rows"]:
         print(
             f"  {row['code']:>9}: encode {row['encode_mb_s']:7.1f} MB/s"

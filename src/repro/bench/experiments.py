@@ -906,6 +906,95 @@ def gf16_kernel_speedup(
     return table
 
 
+def xor_schedule_speedup(block_bytes: int = 1 * MB, repeats: int = 7) -> Table:
+    """XOR-schedule tier vs the packed table kernel, across plan shapes.
+
+    Each row times the same coding product with ``kernel="xor"`` and
+    ``kernel="table"`` forced (interleaved best-of), asserting the two
+    tiers byte-identical against each other and the seed reference
+    inside the run.  The ``auto`` column reports what the unforced
+    heuristic picks for that shape — ``xor`` for the XOR-heavy plans the
+    tier exists for (single-parity encode, Pyramid/Galloper local
+    repair, whose coefficients are 0/1 or all-ones), ``packed-*`` for
+    dense Cauchy matrices where the honest answer is that the schedule
+    loses and the fallback is correct.
+    """
+    from repro.gf import (
+        GF65536,
+        XorSchedule,
+        bitmatrix_density,
+        mat_data_product_reference,
+    )
+
+    table = Table(
+        title="XOR-schedule tier vs packed tables",
+        columns=(
+            "shape", "field", "auto", "density", "xors", "raw_xors",
+            "table_s", "xor_s", "speedup",
+        ),
+    )
+
+    def contest(shape: str, gf, coeffs, data) -> None:
+        coeffs = np.asarray(coeffs)
+        tab = CodingPlan(gf, coeffs, kernel="table")
+        xor = CodingPlan(gf, coeffs, kernel="xor")
+        auto = CodingPlan(gf, coeffs)
+        want = tab.apply(data)
+        if not np.array_equal(want, xor.apply(data)) or not np.array_equal(
+            want, mat_data_product_reference(gf, coeffs, data)
+        ):
+            raise AssertionError(f"kernel tiers disagree on {shape}")
+        out_t, out_x = np.empty_like(want), np.empty_like(want)
+        xor_t, tab_t = _interleaved_best(
+            lambda: xor.apply(data, out=out_x),
+            lambda: tab.apply(data, out=out_t),
+            repeats,
+        )
+        stats = XorSchedule.compile(gf, coeffs).stats
+        table.add(
+            shape=shape,
+            field=f"GF(2^{gf.q})",
+            auto=auto.kernel,
+            density=round(bitmatrix_density(gf, coeffs), 4),
+            xors=stats["xors"],
+            raw_xors=stats["raw_xors"],
+            table_s=tab_t,
+            xor_s=xor_t,
+            speedup=tab_t / xor_t,
+        )
+
+    rs = ReedSolomonCode(10, 1)
+    contest("rs(10,1) encode", rs.gf, rs.generator, _data_for(rs, block_bytes, seed=41))
+
+    gal = GalloperCode(4, 2, 1)
+    helpers = gal.repair_plan(0).helpers
+    repair = gal.compile_reconstruct(0, helpers)
+    gal_data = random_symbols(gal.gf, (repair.n, block_bytes // gal.N), seed=43)
+    contest("galloper(4,2,1) local repair", gal.gf, repair.coeffs, gal_data)
+
+    pyr = PyramidCode(4, 2, 1)
+    p_helpers = pyr.repair_plan(0).helpers
+    p_repair = pyr.compile_reconstruct(0, p_helpers)
+    pyr_data = random_symbols(pyr.gf, (p_repair.n, block_bytes // pyr.N), seed=47)
+    contest("pyramid(4,2,1) local repair", pyr.gf, p_repair.coeffs, pyr_data)
+
+    # Honest dense row: a Cauchy generator's companion expansion is ~half
+    # ones, so the schedule loses and auto must stay on the tables.
+    contest(
+        "galloper(4,2,1) encode", gal.gf, gal.generator,
+        _data_for(gal, block_bytes, seed=53),
+    )
+
+    rs16 = ReedSolomonCode(10, 1, gf=GF65536)
+    contest(
+        "rs(10,1) encode", rs16.gf, rs16.generator,
+        _data_for(rs16, block_bytes // 2, seed=59),
+    )
+
+    table.note(f"payload ~{block_bytes // MB} MB per data row set, best of {repeats}, interleaved")
+    return table
+
+
 def ablation_construction_cost(k_values=(4, 8, 12)) -> Table:
     """Construction (generator build) time: the price of symbol remapping."""
     table = Table(

@@ -288,9 +288,13 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
     by benchmarks and tests; ``repro stats`` prints it as JSON.
     """
     from repro.cluster.topology import Cluster
+    from repro.gf import kernel_selection_info, reset_kernel_selection
     from repro.storage import DistributedFileSystem, RepairManager, StripedFileSystem
     from repro.storage.striped import group_name
 
+    # Zero the process-wide tier counters so the payload reflects this
+    # workload alone (deterministic across repeated invocations).
+    reset_kernel_selection()
     probe = code_factory()
     itemsize = probe.gf.dtype.itemsize
     stripe = max(1, block_bytes // (probe.N * itemsize))
@@ -327,6 +331,7 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
         "payload_bytes": size,
         "blocks_rebuilt": repaired.blocks_rebuilt,
         "plan_cache": cache,
+        "kernel_selection": kernel_selection_info(),
         "metrics": snap,
         "metrics_all": dfs.metrics.snapshot_all(),
         "derived": {

@@ -27,7 +27,7 @@ from repro.gf import (
     rank,
     select_independent_rows,
 )
-from repro.gf.kernels import CodingPlan
+from repro.gf.kernels import CodingPlan, current_kernel_choice
 from repro.gf.matrix import SingularMatrixError
 
 
@@ -294,10 +294,14 @@ class ErasureCode(abc.ABC):
         row copies and the parity rows packed-lane gathers (full or split
         product tables, chosen by field width and matrix size).
         """
-        plan = self.__dict__.get("_encode_plan")
+        # Keyed by the active kernel tier (like the decode/repair cache
+        # keys) so flipping REPRO_KERNEL never serves a stale plan
+        # compiled for another tier.
+        choice = current_kernel_choice()
+        plans = self.__dict__.setdefault("_encode_plan", {})
+        plan = plans.get(choice)
         if plan is None:
-            plan = CodingPlan(self.gf, self.generator)
-            self.__dict__["_encode_plan"] = plan
+            plan = plans[choice] = CodingPlan(self.gf, self.generator)
         return plan
 
     def compile_decode(self, available_ids) -> DecodePlan:
@@ -313,7 +317,7 @@ class ErasureCode(abc.ABC):
         ids = tuple(sorted(set(available_ids)))
         if not ids:
             raise DecodingError("no blocks available")
-        key = ("decode", frozenset(ids))
+        key = ("decode", current_kernel_choice(), frozenset(ids))
         cached = self._plan_lookup(key)
         if cached is not None:
             return cached
@@ -349,7 +353,7 @@ class ErasureCode(abc.ABC):
             DecodingError: when the helpers cannot express the target rows.
         """
         helpers = tuple(helpers)
-        key = ("repair", target, helpers)
+        key = ("repair", current_kernel_choice(), target, helpers)
         cached = self._plan_lookup(key)
         if cached is not None:
             return cached

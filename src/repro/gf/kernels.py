@@ -33,17 +33,27 @@ Tables are built lazily on the first large apply; short products (matrix
 inversion, generator construction) use a direct log/antilog path so
 compiling a plan for a one-shot small product costs nothing.
 
+A third tier sits above the tables: coefficient matrices whose GF(2)
+companion expansion is sparse (XOR parities, 0/1 reconstruction
+matrices) compile to an :class:`repro.gf.schedule.XorSchedule` — pure
+word-wide XOR passes with common-subexpression elimination — selected
+automatically per plan shape by a measured cost model, or forced via
+``CodingPlan(..., kernel=...)`` / the ``REPRO_KERNEL`` env knob (see
+:data:`KERNEL_CHOICES`).
+
 :class:`CodingPlan` packages the compiled tables for a fixed coefficient
 matrix; :func:`mat_data_product` is the one-shot convenience on top of it.
 """
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 
 import numpy as np
 
 from repro.gf.field import GF, GFError
+from repro.gf.schedule import XorSchedule, predicted_win
 from repro.obs.profile import get_profiler
 from repro.obs.trace import get_tracer
 
@@ -61,6 +71,50 @@ SMALL_PRODUCT_ELEMS = 1024
 #: hold (512 KiB each — 32 MiB total); larger plans use split tables.
 FULL_TABLE_LIMIT = 64
 
+#: Valid values for the ``REPRO_KERNEL`` env knob and the
+#: ``CodingPlan(kernel=...)`` override.  ``auto`` lets the measured-cost
+#: heuristic pick between the XOR-schedule tier and the table tier per
+#: plan shape; ``table`` / ``xor`` force one side (``xor`` still routes
+#: sub-:data:`SMALL_PRODUCT_ELEMS` products through the direct path,
+#: where neither tier's setup cost pays off).
+KERNEL_CHOICES = ("auto", "table", "xor")
+
+
+def current_kernel_choice() -> str:
+    """The session-wide kernel-tier override from ``REPRO_KERNEL``.
+
+    Read at plan-construction time (and baked into the plan-cache keys,
+    see :mod:`repro.codes.base`) so flipping the knob mid-process can
+    never serve a plan compiled for another tier.
+    """
+    choice = os.environ.get("REPRO_KERNEL", "auto").strip().lower() or "auto"
+    if choice not in KERNEL_CHOICES:
+        raise GFError(
+            f"REPRO_KERNEL={choice!r} is not a kernel choice; expected one of {KERNEL_CHOICES}"
+        )
+    return choice
+
+
+_SELECTION_KEYS = ("copy", "packed-full", "packed-split", "xor", "xor_fallbacks")
+_selection_counts = dict.fromkeys(_SELECTION_KEYS, 0)
+
+
+def kernel_selection_info() -> dict[str, int]:
+    """Per-tier plan selection counters (``repro stats`` surfaces these).
+
+    Each :class:`CodingPlan` is counted once, at its first large apply —
+    the moment the tier decision is actually exercised.  ``xor_fallbacks``
+    counts auto-mode plans that compiled an XOR schedule but fell back to
+    the tables because the cost model said the schedule would lose.
+    """
+    return dict(_selection_counts)
+
+
+def reset_kernel_selection() -> None:
+    """Zero the per-tier selection counters (tests, workload baselines)."""
+    for key in _SELECTION_KEYS:
+        _selection_counts[key] = 0
+
 
 def validate_symbols(gf: GF, arr: np.ndarray, what: str) -> np.ndarray:
     """Check that ``arr`` holds symbols of ``gf`` and return it as ``gf.dtype``.
@@ -73,7 +127,12 @@ def validate_symbols(gf: GF, arr: np.ndarray, what: str) -> np.ndarray:
         raise GFError(f"{what} must be an integer symbol array, got dtype {arr.dtype}")
     if arr.dtype.kind == "i" or np.iinfo(arr.dtype).max >= gf.size:
         if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= gf.size):
-            raise GFError(f"{what} contains symbols outside GF(2^{gf.q})")
+            raise GFError(
+                f"{what} contains symbols outside GF(2^{gf.q}): "
+                f"dtype {arr.dtype} holds values in [{int(arr.min())}, {int(arr.max())}] "
+                f"but the field maximum is {gf.size - 1} "
+                f"(is this {arr.dtype.itemsize * 8}-bit data hitting a GF(2^{gf.q}) plan?)"
+            )
     return arr.astype(gf.dtype, copy=False)
 
 
@@ -134,10 +193,15 @@ class CodingPlan:
     :meth:`repro.codes.base.ErasureCode.compile_encode` and friends).
     """
 
-    def __init__(self, gf: GF, coeffs: np.ndarray):
+    def __init__(self, gf: GF, coeffs: np.ndarray, kernel: str | None = None):
         coeffs = np.asarray(coeffs)
         if coeffs.ndim != 2:
             raise GFError("CodingPlan expects a 2-D coefficient matrix")
+        if kernel is None:
+            kernel = current_kernel_choice()
+        elif kernel not in KERNEL_CHOICES:
+            raise GFError(f"kernel={kernel!r} is not one of {KERNEL_CHOICES}")
+        self._choice = kernel
         coeffs = validate_symbols(gf, coeffs, "coefficient matrix")
         self.gf = gf
         self.coeffs = coeffs
@@ -166,14 +230,48 @@ class CodingPlan:
         self._packed_lo = None  # "split16": (n_used, groups, 256) uint64
         self._packed_hi = None
         self._group_nonzero = None  # (n_used, groups) bool
+        # XOR-schedule tier state; the tier decision is made lazily so
+        # one-shot small products never pay schedule compilation.
+        self._schedule = None
+        self._tier_decided = False
+        self._xor_fallback = False
+        self._tier_counted = False
 
     # ------------------------------------------------------------- tables
+
+    def _decide_tier(self) -> None:
+        """Resolve table-vs-XOR for the dense rows, once per plan.
+
+        ``kernel="xor"`` forces the schedule; ``auto`` compiles one only
+        when the :func:`repro.gf.schedule.predicted_win` pre-screen says
+        the shape could plausibly beat the tables, then keeps it only if
+        the full cost model (after common-pair elimination) agrees —
+        otherwise the plan falls back to the packed tables and the
+        fallback is counted in :func:`kernel_selection_info`.
+        """
+        if self._tier_decided:
+            return
+        self._tier_decided = True
+        if self._sub is None or self._choice == "table":
+            return
+        if self._choice == "xor":
+            self._schedule = XorSchedule.compile(self.gf, self._sub)
+            return
+        if predicted_win(self.gf, self._sub):
+            schedule = XorSchedule.compile(self.gf, self._sub)
+            if schedule.wins:
+                self._schedule = schedule
+            else:
+                self._xor_fallback = True
 
     @property
     def kernel(self) -> str:
         """Which dense kernel this plan uses once tables are built."""
         if self._sub is None:
             return "copy"
+        self._decide_tier()
+        if self._schedule is not None:
+            return "xor"
         if self.gf.size <= 256 or self._dense_cols.size * self._groups <= FULL_TABLE_LIMIT:
             return "packed-full"
         if self.gf.q == 16:
@@ -248,6 +346,15 @@ class CodingPlan:
         if self._dense_dst.size:
             if s < SMALL_PRODUCT_ELEMS:
                 self._apply_dense_direct(data, out)
+                return
+            self._decide_tier()
+            if not self._tier_counted:
+                self._tier_counted = True
+                _selection_counts[self.kernel] += 1
+                if self._xor_fallback:
+                    _selection_counts["xor_fallbacks"] += 1
+            if self._schedule is not None:
+                self._schedule.execute(data, self._dense_cols, self._dense_dst, out)
             else:
                 self._apply_dense_packed(data, out)
 

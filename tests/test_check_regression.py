@@ -96,8 +96,22 @@ class TestBaselineRecord:
     def test_full_run_uses_top_level(self, striped_baseline):
         assert cr.baseline_record("striped", striped_baseline, quick=False) is striped_baseline
 
-    def test_kernels_ignore_quick_flag(self, kernels_baseline):
-        assert cr.baseline_record("kernels", kernels_baseline, quick=True) is kernels_baseline
+    def test_quick_kernels_picks_latest_quick_run(self):
+        data = {
+            "xor_encode_speedup": 6.0,
+            "runs": [
+                {"quick": False, "xor_encode_speedup": 6.0},
+                {"quick": True, "xor_encode_speedup": 3.0},
+                {"quick": True, "xor_encode_speedup": 3.5},
+            ],
+        }
+        picked = cr.baseline_record("kernels", data, quick=True)
+        assert picked["xor_encode_speedup"] == 3.5
+
+    def test_committed_kernels_baseline_has_quick_run(self, kernels_baseline):
+        # bench-smoke CI runs run_kernels.py --quick and compares against
+        # the latest quick entry; one must be committed.
+        assert cr.baseline_record("kernels", kernels_baseline, quick=True) is not None
 
     def test_quick_striped_picks_latest_quick_run(self):
         data = {
@@ -155,7 +169,7 @@ class TestMain:
         self, monkeypatch, kernels_baseline, striped_baseline, capsys
     ):
         # The full no-hooks path: live measurement comes back slow -> exit 1.
-        monkeypatch.setattr(cr, "measure_kernels", lambda: slowed(kernels_baseline, 0.5))
+        monkeypatch.setattr(cr, "measure_kernels", lambda quick: slowed(kernels_baseline, 0.5))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: slowed(striped_baseline, 0.5))
         assert cr.main([]) == 1
         assert "REGRESSION GATE FAILED" in capsys.readouterr().err
@@ -163,7 +177,7 @@ class TestMain:
     def test_monkeypatched_measurement_steady_passes(
         self, monkeypatch, kernels_baseline, striped_baseline
     ):
-        monkeypatch.setattr(cr, "measure_kernels", lambda: dict(kernels_baseline))
+        monkeypatch.setattr(cr, "measure_kernels", lambda quick: dict(kernels_baseline))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(striped_baseline))
         assert cr.main([]) == 0
 
@@ -171,8 +185,9 @@ class TestMain:
         self, monkeypatch, kernels_baseline, striped_baseline
     ):
         quick_base = cr.baseline_record("striped", striped_baseline, quick=True)
-        assert quick_base is not None
-        monkeypatch.setattr(cr, "measure_kernels", lambda: dict(kernels_baseline))
+        quick_kern = cr.baseline_record("kernels", kernels_baseline, quick=True)
+        assert quick_base is not None and quick_kern is not None
+        monkeypatch.setattr(cr, "measure_kernels", lambda quick: dict(quick_kern))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(quick_base))
         # Quick ratios sit far below the full-run floors; --quick must still pass.
         assert cr.main(["--quick"]) == 0

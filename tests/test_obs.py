@@ -394,7 +394,7 @@ class TestKernelProfiler:
             code.encode(grid)
         snap = prof.snapshot()
         assert snap, "encode recorded no kernel calls"
-        known = {"copy", "packed-full", "packed-split", "direct-small"}
+        known = {"copy", "packed-full", "packed-split", "direct-small", "xor"}
         assert set(snap) <= known
         for entry in snap.values():
             assert set(entry) == {"calls", "seconds", "bytes", "mb_per_s"}
