@@ -1,0 +1,149 @@
+"""Reliability campaign runner: writes the BENCH_reliability.json file.
+
+Runs the years-scale durability sweep from :mod:`repro.reliability` —
+RS / Pyramid / Galloper / Carousel at equal overhead, across random /
+spread / copyset placement and exponential / Weibull disk lifetimes,
+under correlated rack events, latent sector errors and periodic
+scrubbing — and appends one run record to ``BENCH_reliability.json`` at
+the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_reliability.py --quick [--out PATH] [--seed S]
+    PYTHONPATH=src python benchmarks/run_reliability.py           # full (nightly) sweep
+
+Headline fields (also printed):
+
+* ``analytic_agreement`` — simulated MTTDL vs the analytic Markov chain
+  on the validation configuration (min(ratio, 1/ratio); 1.0 = perfect).
+* ``rack_placement_nines_gain`` / ``spread_placement_nines_gain`` —
+  durability nines gained over random placement under correlated rack
+  failures (must be positive; that is the placement story).
+* ``locality_repair_ratio`` — RS helper bytes per rebuilt block over
+  Pyramid's (the locality story; ~5/3 for these parameters).
+* ``locality_risk_ratio`` — RS degraded stripe-hours over Pyramid's.
+* ``pyramid_vs_rs_nines_gain`` — informational: at equal overhead the
+  MDS code's higher distance usually beats locality on raw nines.
+
+The run exits nonzero when a sanity assertion fails (simulator drifted
+from the analytic model by more than 4x, or placement / locality gains
+inverted); the tighter drift tolerances live in ``check_regression.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.reliability import run_reliability_campaign
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+HEADLINE_KEYS = (
+    "analytic_agreement",
+    "rack_placement_nines_gain",
+    "spread_placement_nines_gain",
+    "locality_repair_ratio",
+    "locality_risk_ratio",
+    "pyramid_vs_rs_nines_gain",
+)
+
+
+def run(quick: bool, seed: int) -> dict:
+    t0 = time.perf_counter()
+    record = run_reliability_campaign(quick=quick, seed=seed)
+    record["wall_seconds"] = round(time.perf_counter() - t0, 2)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    record["python"] = platform.python_version()
+    return record
+
+
+def sanity_failures(record: dict) -> list[str]:
+    """Loose invariants any healthy run must satisfy (gate is tighter)."""
+    failures = []
+    if record["analytic_agreement"] < 0.25:
+        failures.append(
+            f"simulated MTTDL drifted >4x from the analytic model "
+            f"(agreement {record['analytic_agreement']:.3f} < 0.25)"
+        )
+    if record["rack_placement_nines_gain"] <= 0.0:
+        failures.append(
+            f"copyset placement no longer beats random under rack failures "
+            f"(gain {record['rack_placement_nines_gain']:.3f})"
+        )
+    if record["spread_placement_nines_gain"] <= 0.0:
+        failures.append(
+            f"spread placement no longer beats random under rack failures "
+            f"(gain {record['spread_placement_nines_gain']:.3f})"
+        )
+    if record["locality_repair_ratio"] <= 1.0:
+        failures.append(
+            f"locality stopped saving repair traffic "
+            f"(RS/Pyramid bytes ratio {record['locality_repair_ratio']:.3f})"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_reliability.json",
+        help="trajectory file to append the run to",
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI smoke sweep (~15s)")
+    parser.add_argument("--seed", type=int, default=2026, help="campaign seed")
+    args = parser.parse_args(argv)
+
+    record = run(args.quick, args.seed)
+    history: list[dict] = []
+    if args.out.exists():
+        try:
+            history = json.loads(args.out.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(record)
+    # Top-level headline mirrors the latest *full* sweep (that is what
+    # full-mode check_regression.py gates, floors included); a quick run
+    # only appends to the history the quick gate compares against.
+    head = next((r for r in reversed(history) if not r.get("quick")), record)
+    payload = {key: head[key] for key in HEADLINE_KEYS}
+    payload["validation"] = head["validation"]
+    payload["runs"] = history
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    print(
+        f"  {len(record['configs'])} configs "
+        f"({len(record['codes'])} codes x {len(record['placements'])} placements x "
+        f"{len(record['lifetimes'])} lifetimes), "
+        f"{record['stripes']} stripes x {record['trials']} trials x "
+        f"{record['horizon_years']:g}y each, in {record['wall_seconds']}s"
+    )
+    for key in HEADLINE_KEYS:
+        print(f"  {key:>28}: {record[key]:.3f}")
+    v = record["validation"]
+    print(
+        f"  validation: {v['losses']} losses over {v['trials']} trials, "
+        f"sim {v['sim_mttdl_hours'] and round(v['sim_mttdl_hours'])} vs "
+        f"analytic {round(v['analytic_mttdl_hours'])} MTTDL hours"
+    )
+
+    failures = sanity_failures(record)
+    if failures:
+        print("FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ from repro.analysis.failures import SurvivalProfile, pattern_census, survival_pr
 from repro.analysis.reliability import (
     HOURS_PER_YEAR,
     ReliabilityParameters,
+    annual_loss_probability,
     annual_repair_traffic_bytes,
     average_repair_reads,
     durability_nines,
@@ -29,6 +30,7 @@ __all__ = [
     "survival_profile",
     "HOURS_PER_YEAR",
     "ReliabilityParameters",
+    "annual_loss_probability",
     "annual_repair_traffic_bytes",
     "average_repair_reads",
     "durability_nines",

@@ -18,6 +18,7 @@ Fig. 1's byte counts into years of durability.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 
 import numpy as np
 
@@ -81,18 +82,35 @@ def mttdl_hours(
     levels = [j for j in range(len(profile.survivable)) if profile.survivable[j] > 0]
     J = max(levels)
     size = J + 1
-    a = np.zeros((size, size))
+    # Expected absorption time: A t = -1, with A tridiagonal (birth-death
+    # with killing).  Rates span many orders of magnitude and the
+    # absorption times of highly durable codes overflow the float
+    # solver's conditioning (RS(4,3) came back *negative* from
+    # np.linalg.solve), so eliminate exactly in rational arithmetic —
+    # the matrix is tiny.
+    lam_f = Fraction(1) / Fraction(params.disk_mtbf_hours)
+    mu_f = Fraction(3600) / Fraction(repair_seconds)
+    lower = [Fraction(0)] * size
+    diag = [Fraction(0)] * size
+    upper = [Fraction(0)] * size
+    rhs = [Fraction(-1)] * size
     for j in range(size):
-        fail_rate = (code.n - j) * lam
-        fatal = profile.conditional_fatality(j)
+        fail_rate = (code.n - j) * lam_f
+        fatal = Fraction(profile.conditional_fatality(j))
         if j < J:
-            a[j, j + 1] = fail_rate * (1.0 - fatal)
+            upper[j] = fail_rate * (1 - fatal)
         # Fatal transitions leave the transient set (no column).
-        if j > 0:
-            a[j, j - 1] = mu * min(j, params.concurrent_repairs)
-        a[j, j] = -(fail_rate + (mu * min(j, params.concurrent_repairs) if j else 0.0))
-    # Expected absorption time: A t = -1.
-    t = np.linalg.solve(a, -np.ones(size))
+        repair = mu_f * min(j, params.concurrent_repairs) if j else Fraction(0)
+        lower[j] = repair
+        diag[j] = -(fail_rate + repair)
+    for j in range(1, size):  # Thomas elimination, exact
+        w = lower[j] / diag[j - 1]
+        diag[j] -= w * upper[j - 1]
+        rhs[j] -= w * rhs[j - 1]
+    t = [Fraction(0)] * size
+    t[-1] = rhs[-1] / diag[-1]
+    for j in range(size - 2, -1, -1):
+        t[j] = (rhs[j] - upper[j] * t[j + 1]) / diag[j]
     return float(t[0])
 
 
@@ -115,11 +133,26 @@ def annual_repair_traffic_bytes(
     return failures_per_year * average_repair_reads(code) * params.block_size_bytes
 
 
-def durability_nines(code: ErasureCode, params: ReliabilityParameters | None = None) -> float:
-    """Approximate 'number of nines' of 1-year durability.
+def annual_loss_probability(code: ErasureCode, params: ReliabilityParameters | None = None) -> float:
+    """P(a stripe loses data within one year).
 
-    For MTTDL >> 1 year the loss probability is ~ 1/MTTDL_years, so the
-    nines are ``log10(MTTDL_years)``.
+    Absorption of the reliability CTMC is asymptotically exponential, so
+    the loss probability over a year is ``1 - exp(-1 / MTTDL_years)`` —
+    the raw number behind :func:`durability_nines`, exposed for callers
+    that need probabilities rather than log-scale nines.
     """
     years = mttdl_years(code, params)
-    return float(np.log10(max(years, 1.0)))
+    return float(-np.expm1(-1.0 / years))
+
+
+def durability_nines(code: ErasureCode, params: ReliabilityParameters | None = None) -> float:
+    """'Number of nines' of 1-year durability: ``log10(MTTDL_years)``.
+
+    For MTTDL >> 1 year the annual loss probability is ~ 1/MTTDL_years,
+    so this matches ``-log10 P(loss in a year)``.  The value is *signed*:
+    a code whose MTTDL is under a year comes out negative (a stripe
+    expected to die monthly scores about -1.1), so fragile codes stay
+    distinguishable instead of all flooring at zero nines.  For the
+    exact probability use :func:`annual_loss_probability`.
+    """
+    return float(np.log10(mttdl_years(code, params)))

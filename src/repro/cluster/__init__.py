@@ -2,6 +2,7 @@
 
 from repro.cluster.failure import FailureEvent, FailureInjector, poisson_failure_trace
 from repro.cluster.placement import (
+    CopysetPlacement,
     GroupAwarePlacement,
     PerformanceAwarePlacement,
     PlacementError,
@@ -9,6 +10,7 @@ from repro.cluster.placement import (
     RackAwarePlacement,
     RandomPlacement,
     RoundRobinPlacement,
+    SpreadPlacement,
 )
 from repro.cluster.server import GB, MB, Server
 from repro.cluster.topology import DEFAULT_BLOCK_SIZE, Cluster, ClusterError
@@ -17,6 +19,7 @@ __all__ = [
     "FailureEvent",
     "FailureInjector",
     "poisson_failure_trace",
+    "CopysetPlacement",
     "GroupAwarePlacement",
     "PerformanceAwarePlacement",
     "PlacementError",
@@ -24,6 +27,7 @@ __all__ = [
     "RackAwarePlacement",
     "RandomPlacement",
     "RoundRobinPlacement",
+    "SpreadPlacement",
     "GB",
     "MB",
     "Server",

@@ -61,7 +61,9 @@ def poisson_failure_trace(
         horizon: trace length in seconds.
         mtbf: per-server mean time between failures.
         seed: RNG seed (traces are reproducible).
-        mttr: mean time to recover; ``None`` leaves servers down.
+        mttr: mean time to recover; ``None`` leaves servers down, so each
+            server fails at most once — a permanent failure terminates
+            that server's trace.
 
     Returns:
         Events sorted by time.
@@ -73,7 +75,9 @@ def poisson_failure_trace(
         while t < horizon:
             rec = None if mttr is None else t + rng.expovariate(1.0 / mttr)
             events.append(FailureEvent(time=t, server_id=sid, recover_at=rec))
-            step = rng.expovariate(1.0 / mtbf)
-            t = (rec if rec is not None else t) + step
+            if rec is None:
+                # Permanently down: a dead server cannot crash again.
+                break
+            t = rec + rng.expovariate(1.0 / mtbf)
     events.sort(key=lambda e: e.time)
     return events

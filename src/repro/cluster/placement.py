@@ -12,6 +12,7 @@ wires the two together.
 from __future__ import annotations
 
 import abc
+import math
 import random
 from collections.abc import Sequence
 
@@ -61,6 +62,111 @@ class RandomPlacement(PlacementPolicy):
     def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
         alive = self._require(cluster, num_blocks)
         return self._rng.sample(alive, num_blocks)
+
+
+class SpreadPlacement(PlacementPolicy):
+    """Maximal rack diversity: blocks round-robin across racks.
+
+    The HDFS-style durability placement — no rack holds more blocks of a
+    stripe than it must (``ceil(n / num_racks)``), so a correlated rack
+    event destroys the fewest possible blocks of any one stripe.  This
+    is the opposite trade from :class:`RackAwarePlacement`, which
+    co-locates repair groups for cheap group-local repair traffic; the
+    reliability campaign measures both sides of that trade.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        self._require(cluster, num_blocks)
+        pools = {r: sorted(sids) for r, sids in cluster.racks().items()}
+        order = sorted(pools)
+        self._rng.shuffle(order)
+        chosen: list[int] = []
+        while len(chosen) < num_blocks:
+            for rack in order:
+                pool = pools[rack]
+                if pool and len(chosen) < num_blocks:
+                    chosen.append(pool.pop(self._rng.randrange(len(pool))))
+        return chosen
+
+
+class CopysetPlacement(PlacementPolicy):
+    """Bounded scatter width via permutation copysets (Cidon et al.).
+
+    Random placement scatters each server's co-stored data over the
+    whole cluster, so *any* simultaneous loss of ``n`` disks almost
+    surely kills some stripe.  Copyset placement pre-partitions the
+    servers into a small set of size-``n`` *copysets* and places every
+    stripe wholly inside one of them: simultaneous failures lose data
+    only when they cover an entire copyset, making loss events much
+    rarer (at the price of losing more stripes when one does hit).
+
+    ``scatter_width`` bounds how many distinct servers share data with
+    any given server (``S = p * (n - 1)`` after ``p`` permutations).
+    With ``rack_isolated=True`` permutations interleave racks so each
+    copyset also spans as many racks as possible — combining copyset
+    loss-frequency behaviour with rack-event tolerance.
+
+    Copysets are built lazily per (alive-set, n) and cached, so every
+    stripe placed against an unchanged cluster draws from the same
+    partition — that invariant *is* the policy.
+    """
+
+    def __init__(self, scatter_width: int = 2, seed: int = 0, rack_isolated: bool = True):
+        if scatter_width < 1:
+            raise ValueError(f"scatter_width must be >= 1, got {scatter_width}")
+        self.scatter_width = scatter_width
+        self.rack_isolated = rack_isolated
+        self._rng = random.Random(seed)
+        self._cache_key: tuple | None = None
+        self._copysets: list[tuple[int, ...]] = []
+
+    def copysets(self, cluster: Cluster, num_blocks: int) -> list[tuple[int, ...]]:
+        """The copyset partition for the cluster's current alive set."""
+        alive = self._require(cluster, num_blocks)
+        key = (tuple(alive), num_blocks)
+        if key != self._cache_key:
+            self._copysets = self._build(cluster, alive, num_blocks)
+            self._cache_key = key
+        return self._copysets
+
+    def _permutation(self, cluster: Cluster, alive: list[int]) -> list[int]:
+        if not self.rack_isolated:
+            perm = list(alive)
+            self._rng.shuffle(perm)
+            return perm
+        by_rack: dict[int, list[int]] = {}
+        for sid in alive:
+            by_rack.setdefault(cluster.server(sid).rack, []).append(sid)
+        racks = sorted(by_rack)
+        self._rng.shuffle(racks)
+        for r in racks:
+            self._rng.shuffle(by_rack[r])
+        # Interleave racks so consecutive chunks span distinct racks.
+        perm: list[int] = []
+        while any(by_rack.values()):
+            for r in racks:
+                if by_rack[r]:
+                    perm.append(by_rack[r].pop())
+        return perm
+
+    def _build(self, cluster: Cluster, alive: list[int], num_blocks: int) -> list[tuple[int, ...]]:
+        if num_blocks < 2:
+            raise PlacementError("copysets need stripes of at least 2 blocks")
+        permutations = max(1, math.ceil(self.scatter_width / (num_blocks - 1)))
+        sets: list[tuple[int, ...]] = []
+        for _ in range(permutations):
+            perm = self._permutation(cluster, alive)
+            for i in range(0, len(perm) - num_blocks + 1, num_blocks):
+                sets.append(tuple(perm[i : i + num_blocks]))
+        if not sets:  # pragma: no cover - _require guarantees len(alive) >= n
+            raise PlacementError(f"cluster too small for copysets of {num_blocks}")
+        return sets
+
+    def place(self, cluster: Cluster, num_blocks: int) -> list[int]:
+        return list(self._rng.choice(self.copysets(cluster, num_blocks)))
 
 
 class GroupAwarePlacement(PlacementPolicy):

@@ -1,0 +1,25 @@
+"""Years-scale durability simulation: lifetimes, correlated failures, campaigns."""
+
+from repro.reliability.campaign import (
+    CAMPAIGN_CODES,
+    run_reliability_campaign,
+    run_validation,
+)
+from repro.reliability.lifetime import ExponentialLifetime, LifetimeModel, WeibullLifetime
+from repro.reliability.simulator import (
+    ReliabilityConfig,
+    ReliabilityResult,
+    simulate_reliability,
+)
+
+__all__ = [
+    "CAMPAIGN_CODES",
+    "run_reliability_campaign",
+    "run_validation",
+    "ExponentialLifetime",
+    "LifetimeModel",
+    "WeibullLifetime",
+    "ReliabilityConfig",
+    "ReliabilityResult",
+    "simulate_reliability",
+]

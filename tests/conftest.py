@@ -6,6 +6,24 @@ import pytest
 from repro.gf import GF256, GF65536, random_symbols
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--reliability",
+        action="store_true",
+        default=False,
+        help="run long-horizon reliability campaign tests (nightly CI)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--reliability"):
+        return
+    skip = pytest.mark.skip(reason="long-horizon campaign; needs --reliability")
+    for item in items:
+        if "reliability" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def gf():
     """The library's default field, GF(2^8)."""

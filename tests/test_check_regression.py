@@ -30,6 +30,11 @@ def striped_baseline():
     return json.loads((REPO_ROOT / "BENCH_striped.json").read_text())
 
 
+@pytest.fixture(scope="module")
+def reliability_baseline():
+    return json.loads((REPO_ROOT / "BENCH_reliability.json").read_text())
+
+
 def slowed(record: dict, factor: float = 0.5) -> dict:
     """A copy of ``record`` with every headline ratio scaled by ``factor``."""
     out = dict(record)
@@ -84,12 +89,30 @@ class TestCompare:
         fails = cr.compare("kernels", fresh, kernels_baseline)
         assert any("baseline is missing" in f for f in fails)
 
-    def test_every_headline_metric_has_a_baseline(self, kernels_baseline, striped_baseline):
+    def test_every_headline_metric_has_a_baseline(
+        self, kernels_baseline, striped_baseline, reliability_baseline
+    ):
         # The committed trajectories must actually carry the gated metrics.
         for metric in cr.HEADLINE["kernels"]:
             assert metric in kernels_baseline
         for metric in cr.HEADLINE["striped"]:
             assert metric in striped_baseline
+        for metric in cr.HEADLINE["reliability"]:
+            assert metric in reliability_baseline
+
+    def test_reliability_baseline_vs_itself_passes(self, reliability_baseline):
+        assert cr.compare("reliability", reliability_baseline, reliability_baseline) == []
+
+    def test_reliability_ordering_collapse_fails(self, reliability_baseline):
+        # A sign flip in a placement gain must fail even within tolerance,
+        # via the absolute floors.
+        broken = dict(reliability_baseline)
+        broken["rack_placement_nines_gain"] = -0.1
+        fails = cr.compare(
+            "reliability", reliability_baseline, broken,
+            tolerance=cr.TOLERANCES["reliability"],
+        )
+        assert any("rack_placement_nines_gain" in f for f in fails)
 
 
 class TestBaselineRecord:
@@ -134,6 +157,9 @@ class TestBaselineRecord:
         # bench-smoke CI depends on a quick baseline existing in the history.
         assert cr.baseline_record("striped", striped_baseline, quick=True) is not None
 
+    def test_committed_reliability_baseline_has_quick_run(self, reliability_baseline):
+        assert cr.baseline_record("reliability", reliability_baseline, quick=True) is not None
+
 
 class TestMain:
     def _write(self, tmp_path, name, record):
@@ -141,54 +167,72 @@ class TestMain:
         path.write_text(json.dumps(record))
         return path
 
-    def test_committed_baselines_pass(self, tmp_path, kernels_baseline, striped_baseline, capsys):
-        fk = self._write(tmp_path, "k.json", kernels_baseline)
-        fs = self._write(tmp_path, "s.json", striped_baseline)
-        assert cr.main(["--fresh-kernels", str(fk), "--fresh-striped", str(fs)]) == 0
+    def _fresh_args(self, tmp_path, kernels, striped, reliability):
+        return [
+            "--fresh-kernels", str(self._write(tmp_path, "k.json", kernels)),
+            "--fresh-striped", str(self._write(tmp_path, "s.json", striped)),
+            "--fresh-reliability", str(self._write(tmp_path, "r.json", reliability)),
+        ]
+
+    def test_committed_baselines_pass(
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline, capsys
+    ):
+        args = self._fresh_args(tmp_path, kernels_baseline, striped_baseline, reliability_baseline)
+        assert cr.main(args) == 0
         captured = capsys.readouterr()
         assert "regression gate passed" in captured.out
         assert "kernels.plan_cache_speedup" in captured.out
+        assert "reliability.analytic_agreement" in captured.out
 
-    def test_injected_slowdown_fails(self, tmp_path, kernels_baseline, striped_baseline, capsys):
-        fk = self._write(tmp_path, "k.json", slowed(kernels_baseline, 0.5))
-        fs = self._write(tmp_path, "s.json", striped_baseline)
-        assert cr.main(["--fresh-kernels", str(fk), "--fresh-striped", str(fs)]) == 1
+    def test_injected_slowdown_fails(
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline, capsys
+    ):
+        args = self._fresh_args(
+            tmp_path, slowed(kernels_baseline, 0.5), striped_baseline, reliability_baseline
+        )
+        assert cr.main(args) == 1
         captured = capsys.readouterr()
         assert "REGRESSION GATE FAILED" in captured.err
         assert "gf16_kernel_speedup" in captured.err
 
-    def test_only_filters_family(self, tmp_path, kernels_baseline, striped_baseline):
+    def test_only_filters_family(
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline
+    ):
         # A slowed striped file is never read when gating kernels only.
-        fk = self._write(tmp_path, "k.json", kernels_baseline)
-        fs = self._write(tmp_path, "s.json", slowed(striped_baseline, 0.1))
-        args = ["--fresh-kernels", str(fk), "--fresh-striped", str(fs)]
+        args = self._fresh_args(
+            tmp_path, kernels_baseline, slowed(striped_baseline, 0.1), reliability_baseline
+        )
         assert cr.main(["--only", "kernels", *args]) == 0
         assert cr.main(["--only", "striped", *args]) == 1
 
     def test_monkeypatched_measurement_slowdown_fails(
-        self, monkeypatch, kernels_baseline, striped_baseline, capsys
+        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline, capsys
     ):
         # The full no-hooks path: live measurement comes back slow -> exit 1.
         monkeypatch.setattr(cr, "measure_kernels", lambda quick: slowed(kernels_baseline, 0.5))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: slowed(striped_baseline, 0.5))
+        monkeypatch.setattr(cr, "measure_reliability", lambda quick: dict(reliability_baseline))
         assert cr.main([]) == 1
         assert "REGRESSION GATE FAILED" in capsys.readouterr().err
 
     def test_monkeypatched_measurement_steady_passes(
-        self, monkeypatch, kernels_baseline, striped_baseline
+        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline
     ):
         monkeypatch.setattr(cr, "measure_kernels", lambda quick: dict(kernels_baseline))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(striped_baseline))
+        monkeypatch.setattr(cr, "measure_reliability", lambda quick: dict(reliability_baseline))
         assert cr.main([]) == 0
 
     def test_quick_mode_compares_against_quick_history(
-        self, monkeypatch, kernels_baseline, striped_baseline
+        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline
     ):
         quick_base = cr.baseline_record("striped", striped_baseline, quick=True)
         quick_kern = cr.baseline_record("kernels", kernels_baseline, quick=True)
-        assert quick_base is not None and quick_kern is not None
+        quick_rel = cr.baseline_record("reliability", reliability_baseline, quick=True)
+        assert quick_base is not None and quick_kern is not None and quick_rel is not None
         monkeypatch.setattr(cr, "measure_kernels", lambda quick: dict(quick_kern))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(quick_base))
+        monkeypatch.setattr(cr, "measure_reliability", lambda quick: dict(quick_rel))
         # Quick ratios sit far below the full-run floors; --quick must still pass.
         assert cr.main(["--quick"]) == 0
 

@@ -5,12 +5,14 @@ import pytest
 from repro.cluster import (
     Cluster,
     ClusterError,
+    CopysetPlacement,
     FailureInjector,
     PerformanceAwarePlacement,
     PlacementError,
     RandomPlacement,
     RoundRobinPlacement,
     Server,
+    SpreadPlacement,
     poisson_failure_trace,
 )
 from repro.sim import Simulation
@@ -96,6 +98,56 @@ class TestPlacement:
         with pytest.raises(PlacementError):
             RoundRobinPlacement().place(c, 4)
 
+    def _racked(self, racks=4, per_rack=6):
+        return Cluster.racked(racks, per_rack)
+
+    def test_spread_caps_blocks_per_rack(self):
+        c = self._racked()
+        for _ in range(20):
+            placed = SpreadPlacement(seed=3).place(c, 7)
+            assert len(set(placed)) == 7
+            per_rack = {}
+            for sid in placed:
+                per_rack[c.server(sid).rack] = per_rack.get(c.server(sid).rack, 0) + 1
+            # ceil(7 blocks / 4 racks) = 2: no rack holds more than 2.
+            assert max(per_rack.values()) <= 2
+
+    def test_spread_is_seeded(self):
+        c = self._racked()
+        assert SpreadPlacement(seed=9).place(c, 7) == SpreadPlacement(seed=9).place(c, 7)
+
+    def test_copyset_bounds_distinct_placements(self):
+        c = self._racked()
+        policy = CopysetPlacement(scatter_width=12, seed=1)
+        sets = policy.copysets(c, 7)
+        # p = ceil(12 / 6) = 2 permutations over 24 servers -> 6 copysets.
+        assert len(sets) == 6
+        seen = {tuple(policy.place(c, 7)) for _ in range(100)}
+        # Every stripe lands wholly inside one of the prebuilt copysets.
+        assert seen <= {tuple(s) for s in sets}
+        assert len(seen) > 1
+
+    def test_copyset_rack_isolation(self):
+        c = self._racked()
+        for cs in CopysetPlacement(scatter_width=12, seed=1).copysets(c, 7):
+            per_rack = {}
+            for sid in cs:
+                per_rack[c.server(sid).rack] = per_rack.get(c.server(sid).rack, 0) + 1
+            assert max(per_rack.values()) <= 2
+
+    def test_copyset_rebuilds_on_membership_change(self):
+        c = self._racked()
+        policy = CopysetPlacement(scatter_width=12, seed=1)
+        before = policy.copysets(c, 7)
+        c.fail(0)
+        after = policy.copysets(c, 7)
+        assert all(0 not in cs for cs in after)
+        assert after != before
+
+    def test_copyset_scatter_width_validation(self):
+        with pytest.raises(ValueError):
+            CopysetPlacement(scatter_width=0)
+
 
 class TestFailureInjection:
     def test_crash_at(self):
@@ -125,6 +177,16 @@ class TestFailureInjection:
         assert a == b
         assert all(e.time < 1000 for e in a)
         assert a == sorted(a, key=lambda e: e.time)
+
+    def test_poisson_trace_permanent_failures_terminate(self):
+        """Satellite regression: with ``mttr=None`` a server stays dead,
+        so it must appear in the trace at most once — the old code kept
+        re-killing permanently-failed servers every MTBF."""
+        trace = poisson_failure_trace(range(8), horizon=10_000, mtbf=50, seed=2, mttr=None)
+        assert trace  # horizon is 200x the MTBF; every server dies once
+        ids = [e.server_id for e in trace]
+        assert len(ids) == len(set(ids))
+        assert all(e.recover_at is None for e in trace)
 
     def test_poisson_trace_with_recovery(self):
         trace = poisson_failure_trace(range(3), horizon=500, mtbf=50, seed=1, mttr=10)
