@@ -44,6 +44,8 @@ HEADLINE = {
         "gf16_encode_speedup",
         "xor_encode_speedup",
         "xor_repair_speedup",
+        "native_wide_speedup",
+        "native_wide_gbps",
     ),
     "striped": ("min_encode_speedup", "min_repair_speedup"),
     # Durability campaign: agreement with the analytic Markov model plus
@@ -65,6 +67,12 @@ BASELINES = {
     "reliability": REPO_ROOT / "BENCH_reliability.json",
 }
 
+#: Native-tier metrics exist only where a C toolchain (or a cached build
+#: artifact) does.  When either the baseline or the fresh run reports
+#: ``native_available: false`` these are skipped rather than failed —
+#: the whole suite must stay green on compiler-less hosts.
+NATIVE_METRICS = frozenset({"native_wide_speedup", "native_wide_gbps"})
+
 #: Per-family tolerance overrides.  Reliability headline values are loss
 #: statistics over seeded Monte-Carlo campaigns: deterministic for a
 #: given seed, but a legitimate change to the event stream (new failure
@@ -83,6 +91,15 @@ FLOORS = {
     # kernel on a GF(2^8) encode shape (measured ~6x; repair ~20x).
     "xor_encode_speedup": 1.5,
     "xor_repair_speedup": 2.0,
+    # Acceptance bar for the native (generated-C) tier: >= 2x over the
+    # best numpy tier on wide-stripe (k >= 50) encode, and an *absolute*
+    # payload-throughput floor — the first machine-dependent floor in
+    # this file, deliberately: the tier exists to deliver ISA-L-class
+    # GB/s, and 1.0 GB/s is ~3x under what the AVX2 kernel measures on a
+    # single 2020s x86 core, so only a real collapse (scalar fallback,
+    # broken blocking) trips it.  Both skip on no-toolchain hosts.
+    "native_wide_speedup": 2.0,
+    "native_wide_gbps": 1.0,
     # Reliability campaign floors (full sweeps only): the simulator must
     # stay within ~3x of the analytic MTTDL on the validation config,
     # topology-aware placement must keep beating random under rack
@@ -104,9 +121,20 @@ def compare(
     ``floors=False`` skips the absolute >=2x checks — used for quick
     smoke workloads, whose tiny group counts never reach the fused
     pipeline's steady-state speedups.
+
+    Native-tier metrics (:data:`NATIVE_METRICS`) are compared only when
+    both records were measured with a native backend; a run on a
+    compiler-less host records ``native_available: false`` and is
+    neither penalised for the missing metrics nor allowed to hide a
+    regression behind them (availability itself is printed by ``main``).
     """
+    skip = set()
+    if not (baseline.get("native_available", False) and fresh.get("native_available", False)):
+        skip = NATIVE_METRICS
     failures: list[str] = []
     for metric in HEADLINE[name]:
+        if metric in skip:
+            continue
         if metric not in baseline:
             failures.append(f"{name}: baseline is missing headline metric {metric!r}")
             continue

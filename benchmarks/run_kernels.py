@@ -28,6 +28,11 @@ Headline fields (also printed):
   the rs(10, 1) GF(2^8) encode (single parity: an all-ones XOR row).
 * ``xor_repair_speedup`` — the same comparison for the Galloper local
   repair plan (0/1 reconstruction coefficients).
+* ``native_wide_speedup`` / ``native_wide_gbps`` — the native (generated
+  C) tier on wide-stripe (k in {50, 100}) RS encode: worst-case speedup
+  over the best numpy tier and worst-case absolute GB/s of original
+  payload.  Recorded only when a C toolchain is available
+  (``native_available``); the regression gate skips them otherwise.
 """
 
 from __future__ import annotations
@@ -48,8 +53,10 @@ from repro.bench.experiments import (
     gf16_kernel_speedup,
     kernel_throughput,
     plan_cache_speedup,
+    wide_stripe_throughput,
     xor_schedule_speedup,
 )
+from repro.gf import native_available, native_unavailable_reason
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
@@ -59,6 +66,9 @@ HEADLINE_KEYS = (
     "gf16_encode_speedup",
     "xor_encode_speedup",
     "xor_repair_speedup",
+    "native_available",
+    "native_wide_speedup",
+    "native_wide_gbps",
 )
 
 
@@ -68,11 +78,13 @@ def run(quick: bool = False) -> dict:
         cache = plan_cache_speedup(block_bytes=8 * 1024, repeats=3)
         gf16 = gf16_kernel_speedup(block_bytes=MB // 4, repeats=3)
         xor = xor_schedule_speedup(block_bytes=MB // 4, repeats=3)
+        wide = wide_stripe_throughput(block_bytes=MB // 4, repeats=3)
     else:
         throughput = kernel_throughput()
         cache = plan_cache_speedup()
         gf16 = gf16_kernel_speedup()
         xor = xor_schedule_speedup()
+        wide = wide_stripe_throughput()
 
     cache_by_code = {row["code"]: row["speedup"] for row in cache.rows}
     gf16_speedups = {
@@ -81,7 +93,7 @@ def run(quick: bool = False) -> dict:
         if row["kernel"] != "log/antilog (seed)"
     }
     xor_by_shape = {(row["shape"], row["field"]): row["speedup"] for row in xor.rows}
-    return {
+    record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -92,12 +104,23 @@ def run(quick: bool = False) -> dict:
         "gf16_encode_speedup": gf16_speedups["rs encode"],
         "xor_encode_speedup": xor_by_shape[("rs(10,1) encode", "GF(2^8)")],
         "xor_repair_speedup": xor_by_shape[("galloper(4,2,1) local repair", "GF(2^8)")],
+        # Native tier headline: worst case across the wide-stripe k sweep,
+        # so the floors hold at every recorded width.  Omitted (not null)
+        # when no backend exists — the gate keys off native_available.
+        "native_available": native_available(),
         # Full tables.
         "kernel_throughput": {"note": throughput.notes, "rows": throughput.rows},
         "plan_cache": {"note": cache.notes, "rows": cache.rows},
         "gf16": {"note": gf16.notes, "rows": gf16.rows},
         "xor_schedule": {"note": xor.notes, "rows": xor.rows},
+        "wide_stripe": {"note": wide.notes, "rows": wide.rows},
     }
+    if record["native_available"]:
+        record["native_wide_speedup"] = min(r["native_speedup"] for r in wide.rows)
+        record["native_wide_gbps"] = min(r["native_gb_s"] for r in wide.rows)
+    else:
+        record["native_unavailable_reason"] = native_unavailable_reason()
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -128,7 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         # keep the full-run headline metrics at the top level.
         headline = {k: previous[k] for k in HEADLINE_KEYS if k in previous}
     else:
-        headline = {k: record[k] for k in HEADLINE_KEYS}
+        headline = {k: record[k] for k in HEADLINE_KEYS if k in record}
     payload = {**headline, "runs": history}
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -138,6 +161,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  gf16_encode_speedup (rs(6,4) end-to-end encode): {record['gf16_encode_speedup']:.2f}x")
     print(f"  xor_encode_speedup  (rs(10,1) single-parity encode, xor vs table): {record['xor_encode_speedup']:.2f}x")
     print(f"  xor_repair_speedup  (galloper local repair, xor vs table): {record['xor_repair_speedup']:.2f}x")
+    if record["native_available"]:
+        print(f"  native_wide_speedup (k>=50 encode, native vs best numpy): {record['native_wide_speedup']:.2f}x")
+        print(f"  native_wide_gbps    (k>=50 encode, worst-case payload): {record['native_wide_gbps']:.2f} GB/s")
+    else:
+        print(f"  native tier unavailable: {record.get('native_unavailable_reason', '?')}")
+    for row in record["wide_stripe"]["rows"]:
+        print(
+            f"  wide k={row['k']:>3}: numpy ({row['numpy_kernel']}) {row['numpy_gb_s']:5.2f} GB/s"
+            f"  native {row['native_gb_s']:5.2f} GB/s  ({row['native_speedup']:5.2f}x)"
+        )
     for row in record["xor_schedule"]["rows"]:
         print(
             f"  {row['shape']:>28} {row['field']:>9}: auto={row['auto']:<11} "

@@ -995,6 +995,83 @@ def xor_schedule_speedup(block_bytes: int = 1 * MB, repeats: int = 7) -> Table:
     return table
 
 
+def wide_stripe_throughput(
+    k_values=(50, 100), r: int = 4, block_bytes: int = 1 * MB, repeats: int = 5
+) -> Table:
+    """Wide-stripe (k >= 50) encode: native tier vs the best numpy tier.
+
+    The regime the native tier exists for — "Making Wide Stripes
+    Practical" -style codes where the per-(coefficient, data row) gather
+    cost dominates encode.  Each row times a full RS(k, r) GF(2^8)
+    encode through three forced plans (``table``, ``xor``, ``native``,
+    byte-equality asserted against the seed reference inside the run)
+    and reports the native tier's absolute GB/s of original payload plus
+    its speedup over whichever numpy tier won.  On a host with no C
+    toolchain the native columns are NaN and the numpy columns still
+    record, so downstream consumers key off
+    :func:`repro.gf.native_available`.
+    """
+    from repro.gf import mat_data_product_reference, native_available
+
+    table = Table(
+        title="Wide-stripe encode — native tier vs best numpy tier (GB/s)",
+        columns=(
+            "k", "payload_mb", "numpy_kernel", "numpy_s", "numpy_gb_s",
+            "native_s", "native_gb_s", "native_speedup",
+        ),
+    )
+    have_native = native_available()
+    for k in k_values:
+        code = ReedSolomonCode(k, r)
+        data = _data_for(code, block_bytes, seed=61 + k)
+        gen = code.generator
+        tab = CodingPlan(code.gf, gen, kernel="table")
+        xor = CodingPlan(code.gf, gen, kernel="xor")
+        want = tab.apply(data)
+        if not np.array_equal(want, mat_data_product_reference(code.gf, gen, data)):
+            raise AssertionError(f"table tier wrong at k={k}")
+        if not np.array_equal(want, xor.apply(data)):
+            raise AssertionError(f"xor tier disagrees at k={k}")
+        out_a, out_b = np.empty_like(want), np.empty_like(want)
+        xor_t, tab_t = _interleaved_best(
+            lambda x=xor, o=out_a: x.apply(data, out=o),
+            lambda t=tab, o=out_b: t.apply(data, out=o),
+            repeats,
+        )
+        numpy_t = min(tab_t, xor_t)
+        numpy_kernel = tab.kernel if tab_t <= xor_t else xor.kernel
+        row = {
+            "k": k,
+            "payload_mb": data.nbytes / MB,
+            "numpy_kernel": numpy_kernel,
+            "numpy_s": numpy_t,
+            "numpy_gb_s": data.nbytes / numpy_t / 1e9,
+            "native_s": float("nan"),
+            "native_gb_s": float("nan"),
+            "native_speedup": float("nan"),
+        }
+        if have_native:
+            nat = CodingPlan(code.gf, gen, kernel="native")
+            if not np.array_equal(want, nat.apply(data)):
+                raise AssertionError(f"native tier disagrees at k={k}")
+            out_n = np.empty_like(want)
+            nat_t, _ = _interleaved_best(
+                lambda n=nat, o=out_n: n.apply(data, out=o),
+                lambda t=tab, o=out_b: t.apply(data, out=o),
+                repeats,
+            )
+            row["native_s"] = nat_t
+            row["native_gb_s"] = data.nbytes / nat_t / 1e9
+            row["native_speedup"] = numpy_t / nat_t
+        table.add(**row)
+    table.note(
+        f"rs(k, {r}) over GF(2^8), payload {block_bytes // MB} MB per data row set, "
+        f"best of {repeats}, interleaved; native backend "
+        f"{'available' if have_native else 'UNAVAILABLE (numpy only)'}"
+    )
+    return table
+
+
 def ablation_construction_cost(k_values=(4, 8, 12)) -> Table:
     """Construction (generator build) time: the price of symbol remapping."""
     table = Table(

@@ -288,7 +288,7 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
     by benchmarks and tests; ``repro stats`` prints it as JSON.
     """
     from repro.cluster.topology import Cluster
-    from repro.gf import kernel_selection_info, reset_kernel_selection
+    from repro.gf import kernel_bytes_info, kernel_selection_info, reset_kernel_selection
     from repro.storage import DistributedFileSystem, RepairManager, StripedFileSystem
     from repro.storage.striped import group_name
 
@@ -332,6 +332,7 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
         "blocks_rebuilt": repaired.blocks_rebuilt,
         "plan_cache": cache,
         "kernel_selection": kernel_selection_info(),
+        "kernel_bytes": kernel_bytes_info(),
         "metrics": snap,
         "metrics_all": dfs.metrics.snapshot_all(),
         "derived": {

@@ -74,10 +74,14 @@ FULL_TABLE_LIMIT = 64
 #: Valid values for the ``REPRO_KERNEL`` env knob and the
 #: ``CodingPlan(kernel=...)`` override.  ``auto`` lets the measured-cost
 #: heuristic pick between the XOR-schedule tier and the table tier per
-#: plan shape; ``table`` / ``xor`` force one side (``xor`` still routes
-#: sub-:data:`SMALL_PRODUCT_ELEMS` products through the direct path,
-#: where neither tier's setup cost pays off).
-KERNEL_CHOICES = ("auto", "table", "xor")
+#: plan shape, and executes through the native (generated-C) backend
+#: whenever one is available; ``table`` / ``xor`` force one numpy side
+#: (``xor`` still routes sub-:data:`SMALL_PRODUCT_ELEMS` products
+#: through the direct path, where neither tier's setup cost pays off);
+#: ``native`` keeps the auto structure decision but requires the native
+#: backend, falling back transparently (and counting the fallback) when
+#: no compiler / cffi is present.
+KERNEL_CHOICES = ("auto", "table", "xor", "native")
 
 
 def current_kernel_choice() -> str:
@@ -95,8 +99,24 @@ def current_kernel_choice() -> str:
     return choice
 
 
-_SELECTION_KEYS = ("copy", "packed-full", "packed-split", "xor", "xor_fallbacks")
+_SELECTION_KEYS = (
+    "copy",
+    "packed-full",
+    "packed-split",
+    "xor",
+    "native",
+    "native-xor",
+    "xor_fallbacks",
+    "native_fallbacks",
+)
 _selection_counts = dict.fromkeys(_SELECTION_KEYS, 0)
+
+#: Per-tier payload byte accounting (input + output bytes per apply),
+#: keyed by the executed kernel label.  Unlike the selection counters —
+#: one tick per *plan* — these accumulate per *apply*, so a hot cached
+#: plan shows up proportional to the data it actually moved.
+_BYTE_KEYS = ("copy", "packed-full", "packed-split", "xor", "native", "native-xor", "direct-small")
+_selection_bytes = dict.fromkeys(_BYTE_KEYS, 0)
 
 
 def kernel_selection_info() -> dict[str, int]:
@@ -105,15 +125,30 @@ def kernel_selection_info() -> dict[str, int]:
     Each :class:`CodingPlan` is counted once, at its first large apply —
     the moment the tier decision is actually exercised.  ``xor_fallbacks``
     counts auto-mode plans that compiled an XOR schedule but fell back to
-    the tables because the cost model said the schedule would lose.
+    the tables because the cost model said the schedule would lose;
+    ``native_fallbacks`` counts plans that asked for the native tier
+    (``kernel="native"``) but ran on the numpy tiers because no backend
+    could be built.
     """
     return dict(_selection_counts)
+
+
+def kernel_bytes_info() -> dict[str, int]:
+    """Payload bytes (input + output) processed per kernel tier.
+
+    Accumulated on every apply, so alongside the one-per-plan selection
+    counters this shows *where the data went*: a workload can select the
+    native tier once and then stream terabytes through it.
+    """
+    return dict(_selection_bytes)
 
 
 def reset_kernel_selection() -> None:
     """Zero the per-tier selection counters (tests, workload baselines)."""
     for key in _SELECTION_KEYS:
         _selection_counts[key] = 0
+    for key in _BYTE_KEYS:
+        _selection_bytes[key] = 0
 
 
 def validate_symbols(gf: GF, arr: np.ndarray, what: str) -> np.ndarray:
@@ -212,6 +247,20 @@ class CodingPlan:
         is_copy = (nnz == 1) & (coeffs[np.arange(self.m), first_nz] == 1)
         self._copy_dst = np.nonzero(is_copy)[0]
         self._copy_src = first_nz[self._copy_dst]
+        # Systematic generators copy a contiguous identity block; a slice
+        # assignment moves that payload once, where fancy indexing gathers
+        # into a temporary and scatters it back out (2x the traffic — on
+        # wide stripes the copies rival the parity arithmetic).
+        self._copy_slices = None
+        if self._copy_dst.size:
+            d, s = self._copy_dst, self._copy_src
+            if np.array_equal(d, np.arange(d[0], d[0] + d.size)) and np.array_equal(
+                s, np.arange(s[0], s[0] + s.size)
+            ):
+                self._copy_slices = (
+                    slice(int(d[0]), int(d[0]) + d.size),
+                    slice(int(s[0]), int(s[0]) + s.size),
+                )
 
         dense = np.nonzero((nnz > 0) & ~is_copy)[0]
         self._dense_dst = dense
@@ -236,6 +285,12 @@ class CodingPlan:
         self._tier_decided = False
         self._xor_fallback = False
         self._tier_counted = False
+        # Native (generated-C) tier state: the backend is bound once at
+        # tier-decision time so a plan's labels and execution path never
+        # change under it mid-life.
+        self._native_backend = None
+        self._native_fallback = False
+        self._native_tables = None  # gf8: (tables,); gf16: (lo, hi)
 
     # ------------------------------------------------------------- tables
 
@@ -254,6 +309,15 @@ class CodingPlan:
         self._tier_decided = True
         if self._sub is None or self._choice == "table":
             return
+        if self._choice in ("auto", "native") and self.gf.q in (8, 16):
+            # Bind the process-wide native backend (compiled / dlopen'ed
+            # on first demand).  Forced "native" without a usable
+            # toolchain degrades to the numpy tiers and is counted.
+            from repro.gf import native as _native
+
+            self._native_backend = _native.get_backend()
+            if self._native_backend is None and self._choice == "native":
+                self._native_fallback = True
         if self._choice == "xor":
             self._schedule = XorSchedule.compile(self.gf, self._sub)
             return
@@ -271,7 +335,9 @@ class CodingPlan:
             return "copy"
         self._decide_tier()
         if self._schedule is not None:
-            return "xor"
+            return "native-xor" if self._native_backend is not None else "xor"
+        if self._native_backend is not None:
+            return "native"
         if self.gf.size <= 256 or self._dense_cols.size * self._groups <= FULL_TABLE_LIMIT:
             return "packed-full"
         if self.gf.q == 16:
@@ -342,21 +408,38 @@ class CodingPlan:
     def _compute(self, data: np.ndarray, out: np.ndarray, s: int) -> None:
         """The uninstrumented kernel body: copies, then the dense product."""
         if self._copy_dst.size:
-            out[self._copy_dst] = data[self._copy_src]
-        if self._dense_dst.size:
-            if s < SMALL_PRODUCT_ELEMS:
-                self._apply_dense_direct(data, out)
-                return
-            self._decide_tier()
-            if not self._tier_counted:
-                self._tier_counted = True
-                _selection_counts[self.kernel] += 1
-                if self._xor_fallback:
-                    _selection_counts["xor_fallbacks"] += 1
-            if self._schedule is not None:
-                self._schedule.execute(data, self._dense_cols, self._dense_dst, out)
+            if self._copy_slices is not None:
+                dst_sl, src_sl = self._copy_slices
+                out[dst_sl] = data[src_sl]
             else:
-                self._apply_dense_packed(data, out)
+                out[self._copy_dst] = data[self._copy_src]
+        if not self._dense_dst.size:
+            _selection_bytes["copy"] += data.nbytes + out.nbytes
+            return
+        if s < SMALL_PRODUCT_ELEMS:
+            _selection_bytes["direct-small"] += data.nbytes + out.nbytes
+            self._apply_dense_direct(data, out)
+            return
+        self._decide_tier()
+        if not self._tier_counted:
+            self._tier_counted = True
+            _selection_counts[self.kernel] += 1
+            if self._xor_fallback:
+                _selection_counts["xor_fallbacks"] += 1
+            if self._native_fallback:
+                _selection_counts["native_fallbacks"] += 1
+        _selection_bytes[self.kernel] += data.nbytes + out.nbytes
+        if self._schedule is not None:
+            if self._native_backend is not None:
+                self._schedule.execute_native(
+                    self._native_backend, data, self._dense_cols, self._dense_dst, out
+                )
+            else:
+                self._schedule.execute(data, self._dense_cols, self._dense_dst, out)
+        elif self._native_backend is not None:
+            self._apply_dense_native(data, out)
+        else:
+            self._apply_dense_packed(data, out)
 
     __call__ = apply
 
@@ -471,6 +554,63 @@ class CodingPlan:
                 count = min(lanes, rows.size - base)
                 lane_view = acc[g, :w].view(lane_dtype).reshape(w, lanes)
                 out[rows[base : base + count], s0 : s0 + w] = lane_view[:, :count].T
+
+    def _build_native_tables(self) -> None:
+        """Per-coefficient product tables in the native kernels' layout.
+
+        GF(2^8): one contiguous ``(m, n_used, 256)`` uint8 block, rows of
+        the field's full mul table.  GF(2^16): ISA-L split lo/hi tables,
+        ``(m, n_used, 256)`` uint16 each — the full 65536-entry table
+        would blow the cache budget the native tier exists to respect.
+        """
+        sub = self._sub
+        if self.gf.q == 8:
+            self._native_tables = (np.ascontiguousarray(self.gf.mul_table[sub]),)
+        else:
+            lo, hi = split_product_tables(self.gf, sub.reshape(-1))
+            shape = (*sub.shape, 256)
+            self._native_tables = (
+                np.ascontiguousarray(lo.reshape(shape)),
+                np.ascontiguousarray(hi.reshape(shape)),
+            )
+        self._native_cols = np.ascontiguousarray(self._dense_cols, dtype=np.int32)
+        self._native_rows = np.ascontiguousarray(self._dense_dst, dtype=np.int32)
+
+    def _apply_dense_native(self, data: np.ndarray, out: np.ndarray) -> None:
+        """Dense product through the generated-C gather kernel.
+
+        Cache-blocked with the shared pool budget: one block keeps every
+        output-row segment plus the streaming data row inside ~L2, so a
+        multi-MB stripe never materialises a full-width intermediate.
+        """
+        if self._native_tables is None:
+            self._build_native_tables()
+        itemsize = self.gf.dtype.itemsize
+        if data.strides[-1] != itemsize:
+            data = np.ascontiguousarray(data)
+        out_view = out
+        copy_back = out.strides[-1] != itemsize
+        if copy_back:
+            out_view = np.ascontiguousarray(out)
+        from repro.gf.schedule import pool_budget_bytes
+
+        m = self._dense_dst.size
+        block = pool_budget_bytes() // (itemsize * (m + 1))
+        block = max(4096, block & ~63)
+        if self.gf.q == 8:
+            (tables,) = self._native_tables
+            self._native_backend.gf8_gather(
+                tables, self._sub, data, self._native_cols,
+                out_view, self._native_rows, block,
+            )
+        else:
+            lo, hi = self._native_tables
+            self._native_backend.gf16_gather(
+                lo, hi, self._sub, data, self._native_cols,
+                out_view, self._native_rows, block,
+            )
+        if copy_back:
+            out[...] = out_view
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CodingPlan({self.m}x{self.n} over GF(2^{self.gf.q}), kernel={self.kernel})"

@@ -28,6 +28,8 @@ the pool and run full-width XORs straight between data and output rows.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.gf.bitmatrix import double_symbols, lane_selection_matrix
@@ -36,6 +38,7 @@ from repro.gf.field import GF, GFError
 __all__ = [
     "XorSchedule",
     "predicted_win",
+    "pool_budget_bytes",
     "GATHER_PASSES",
     "GATHER_PASSES_SPLIT16",
     "DOUBLE_PASSES",
@@ -63,9 +66,41 @@ COPY_PASSES = 2.0
 #: the battle-tested table path.
 XOR_MARGIN = 0.85
 
-#: Scratch-pool byte budget for one execution chunk (~1.5 MiB, matching
-#: the table kernel's gather working set).
+#: Default scratch-pool byte budget for one execution chunk (~1.5 MiB,
+#: matching the table kernel's gather working set).  Tunable via the
+#: ``REPRO_POOL_KB`` env knob — see :func:`pool_budget_bytes`.
 _POOL_BUDGET_BYTES = 3 << 19
+
+#: Bounds for ``REPRO_POOL_KB``: below 64 KiB the chunk floor makes the
+#: knob a no-op; past 1 GiB it stops being a *cache* budget.
+_POOL_KB_MIN = 64
+_POOL_KB_MAX = 1 << 20
+
+
+def pool_budget_bytes() -> int:
+    """The scratch-pool/cache-block byte budget, from ``REPRO_POOL_KB``.
+
+    Shared by the XOR-schedule executor (scratch pool sizing) and the
+    native tier (cache-block width), so one knob tunes both working sets
+    to the host's L2.  Read at schedule-compile / apply time, validated
+    like ``REPRO_KERNEL``: a non-integer or out-of-range value raises
+    :class:`~repro.gf.field.GFError` instead of silently running with a
+    default.  Unset (or empty) means the ~1.5 MiB default.
+    """
+    raw = os.environ.get("REPRO_POOL_KB", "").strip()
+    if not raw:
+        return _POOL_BUDGET_BYTES
+    try:
+        kb = int(raw)
+    except ValueError:
+        raise GFError(
+            f"REPRO_POOL_KB={raw!r} is not an integer KiB count"
+        ) from None
+    if not _POOL_KB_MIN <= kb <= _POOL_KB_MAX:
+        raise GFError(
+            f"REPRO_POOL_KB={kb} outside [{_POOL_KB_MIN}, {_POOL_KB_MAX}] KiB"
+        )
+    return kb << 10
 
 #: Safety valve on CSE iterations; real plans terminate far earlier.
 _MAX_CSE_OPS_FACTOR = 8
@@ -154,6 +189,7 @@ class XorSchedule:
         self._pool_rows = pool_rows  # lanes + intermediates (+ scratch + tmp if ladder)
         self._chunk = chunk
         self.stats = stats
+        self._native_prog = None  # flattened int32 program, built on demand
 
     # ---------------------------------------------------------- compile
 
@@ -252,7 +288,7 @@ class XorSchedule:
         }
 
         itemsize = gf.dtype.itemsize
-        chunk = (_POOL_BUDGET_BYTES // (itemsize * max(1, pool_rows))) & ~7
+        chunk = (pool_budget_bytes() // (itemsize * max(1, pool_rows))) & ~7
         chunk = max(4096, chunk)
         return cls(gf, m, n, ladder, inter_ops, outputs, pool_rows, chunk, stats)
 
@@ -322,6 +358,101 @@ class XorSchedule:
                     np.bitwise_xor(ref(refs[0]), ref(refs[1]), out=ov)
                     for r in refs[2:]:
                         np.bitwise_xor(ov, ref(r), out=ov)
+
+    # ---------------------------------------------------- native lowering
+
+    def _native_program(self) -> tuple[np.ndarray, int]:
+        """Lower the schedule to a flat instruction array for the C executor.
+
+        Returns ``(prog, pool_rows)``: ``prog`` is ``(n_insn * 7,)`` int32
+        in the ``repro.gf.native`` encoding and ``pool_rows`` how many
+        chunk-width scratch rows the program touches.  The C ``DOUBLE`` op
+        reads its source elementwise, so ladders start straight from the
+        data row — the numpy executor's seed copy (and its ``tmp`` row)
+        disappear; only the shared passthrough scratch row survives.
+        """
+        if self._native_prog is not None:
+            return self._native_prog
+        from repro.gf import native as nat
+
+        pool_top = self._pool_rows - (2 if self._ladder else 0)
+
+        def operand(r: int) -> tuple[int, int]:
+            if r < 0:
+                return nat.BASE_DATA, -r - 1
+            return nat.BASE_POOL, r
+
+        ins: list[tuple[int, ...]] = []
+        for j, steps in self._ladder:
+            prev = (nat.BASE_DATA, j)
+            for dst_row in steps:
+                ins.append((nat.OP_DOUBLE, nat.BASE_POOL, dst_row, *prev, 0, 0))
+                prev = (nat.BASE_POOL, dst_row)
+        for dst_row, ra, rb in self._inter_ops:
+            ins.append((nat.OP_XOR2, nat.BASE_POOL, dst_row, *operand(ra), *operand(rb)))
+        for i, refs in enumerate(self._outputs):
+            dst = (nat.BASE_OUT, i)
+            if not refs:
+                ins.append((nat.OP_ZERO, *dst, 0, 0, 0, 0))
+            elif len(refs) == 1:
+                ins.append((nat.OP_COPY, *dst, *operand(refs[0]), 0, 0))
+            else:
+                ins.append((nat.OP_XOR2, *dst, *operand(refs[0]), *operand(refs[1])))
+                for r in refs[2:]:
+                    ins.append((nat.OP_XACC, *dst, *operand(r), 0, 0))
+        prog = np.asarray(ins, dtype=np.int32).reshape(-1)
+        pool_rows = (pool_top + 1) if self._ladder else pool_top
+        self._native_prog = (prog, pool_rows)
+        return self._native_prog
+
+    def execute_native(
+        self,
+        backend,
+        data: np.ndarray,
+        cols: np.ndarray,
+        dst_rows: np.ndarray,
+        out: np.ndarray,
+    ) -> None:
+        """Run the schedule through a :class:`repro.gf.native.NativeBackend`.
+
+        Same contract as :meth:`execute`, byte-identical output.  Rows of
+        ``data``/``out`` must be contiguous (``CodingPlan`` guarantees
+        this; standalone callers get a copy made for them).
+        """
+        S = data.shape[1]
+        if S == 0 or self.m == 0:
+            return
+        itemsize = self.gf.dtype.itemsize
+        if data.strides[-1] != itemsize:
+            data = np.ascontiguousarray(data)
+        out_view = out
+        copy_back = out.strides[-1] != itemsize
+        if copy_back:
+            out_view = np.ascontiguousarray(out)
+        prog, pool_rows = self._native_program()
+        nbytes = S * itemsize
+        if pool_rows:
+            block = pool_budget_bytes() // pool_rows
+            block = max(4096 * itemsize, block & ~63)
+            block = min(block, -(-nbytes // 8) * 8)
+            pool = np.empty(pool_rows * block, dtype=np.uint8)
+        else:
+            block = 0  # the C side runs the whole stripe in one pass
+            pool = None
+        backend.xor_exec(
+            prog,
+            data,
+            np.ascontiguousarray(cols, dtype=np.int32),
+            out_view,
+            np.ascontiguousarray(dst_rows, dtype=np.int32),
+            pool,
+            block,
+            nbytes,
+            self.gf.q,
+            int(self.gf.primitive_poly) & (self.gf.size - 1),
+        )
+        if copy_back:
+            out[...] = out_view
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         s = self.stats

@@ -69,8 +69,13 @@ class TestFig7:
 
 class TestFig8:
     def test_reconstruction_shape(self):
-        t = fig8_reconstruction(block_bytes=SMALL, repeats=1)
-        mb = SMALL / (1 << 20)
+        # 4 MiB blocks, not SMALL: the timing half of Fig. 8 is a claim
+        # about the I/O-bound regime (the paper uses 45 MB blocks), and
+        # with the native kernel tier the dense RS decode is fast enough
+        # at 256 KiB that fixed per-repair overhead hides the locality win.
+        bb = 1 << 22
+        t = fig8_reconstruction(block_bytes=bb, repeats=1)
+        mb = bb / (1 << 20)
         for row in t.rows[:6]:
             # Locality: Pyramid/Galloper read half of Reed-Solomon's bytes.
             assert row["pyramid_io"] == pytest.approx(2 * mb)

@@ -115,6 +115,35 @@ class TestCompare:
         assert any("rack_placement_nines_gain" in f for f in fails)
 
 
+class TestNativeMetricsSkip:
+    """Native-tier metrics gate only when both runs had a native backend."""
+
+    def test_compilerless_fresh_run_passes(self, kernels_baseline):
+        fresh = {k: v for k, v in kernels_baseline.items() if k not in cr.NATIVE_METRICS}
+        fresh["native_available"] = False
+        assert cr.compare("kernels", kernels_baseline, fresh) == []
+
+    def test_compilerless_baseline_passes(self, kernels_baseline):
+        base = {k: v for k, v in kernels_baseline.items() if k not in cr.NATIVE_METRICS}
+        base["native_available"] = False
+        assert cr.compare("kernels", base, kernels_baseline) == []
+
+    def test_native_regression_fails_when_both_available(self, kernels_baseline):
+        # The committed baseline must have been measured with the backend,
+        # otherwise the gate would never watch the native tier at all.
+        assert kernels_baseline.get("native_available") is True
+        broken = dict(kernels_baseline)
+        broken["native_wide_speedup"] = float(kernels_baseline["native_wide_speedup"]) * 0.5
+        fails = cr.compare("kernels", kernels_baseline, broken)
+        assert any("native_wide_speedup" in f for f in fails)
+
+    def test_native_floor_violation(self, kernels_baseline):
+        broken = dict(kernels_baseline)
+        broken["native_wide_gbps"] = 0.5  # under the 1.0 GB/s absolute floor
+        fails = cr.compare("kernels", kernels_baseline, broken)
+        assert any("native_wide_gbps" in f and "absolute floor" in f for f in fails)
+
+
 class TestBaselineRecord:
     def test_full_run_uses_top_level(self, striped_baseline):
         assert cr.baseline_record("striped", striped_baseline, quick=False) is striped_baseline

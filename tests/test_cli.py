@@ -160,8 +160,8 @@ class TestStatsSchema:
     """`repro stats` JSON must keep a stable schema across code families."""
 
     TOP_KEYS = {"code", "groups", "payload_bytes", "blocks_rebuilt",
-                "plan_cache", "kernel_selection", "metrics", "metrics_all",
-                "derived"}
+                "plan_cache", "kernel_selection", "kernel_bytes", "metrics",
+                "metrics_all", "derived"}
 
     def _stats(self, capsys, *code_args):
         assert run("stats", "--groups", 4, "--block-bytes", 2048, *code_args) == 0
@@ -177,8 +177,13 @@ class TestStatsSchema:
         assert set(payload) == self.TOP_KEYS
         assert set(payload["plan_cache"]) == {"size", "maxsize", "hits", "misses"}
         assert set(payload["kernel_selection"]) == {
-            "copy", "packed-full", "packed-split", "xor", "xor_fallbacks"}
+            "copy", "packed-full", "packed-split", "xor", "native", "native-xor",
+            "xor_fallbacks", "native_fallbacks"}
         assert all(v >= 0 for v in payload["kernel_selection"].values())
+        assert set(payload["kernel_bytes"]) == {
+            "copy", "packed-full", "packed-split", "xor", "native", "native-xor",
+            "direct-small"}
+        assert all(v >= 0 for v in payload["kernel_bytes"].values())
         assert set(payload["metrics_all"]) == {"counters", "histograms", "gauges"}
         assert set(payload["derived"]) == {"groups_per_apply", "zero_copy_fraction"}
         assert payload["metrics_all"]["counters"] == payload["metrics"]

@@ -101,12 +101,12 @@ class TestKernelEquivalence:
         monkeypatch.setattr(kernels_mod, "FULL_TABLE_LIMIT", 2)
         coeffs = random_symbols(GF65536, (9, 6), seed=6)
         data = random_symbols(GF65536, (6, SMALL_PRODUCT_ELEMS + 50), seed=7)
-        plan = CodingPlan(GF65536, coeffs)
+        plan = CodingPlan(GF65536, coeffs, kernel="table")
         assert plan.kernel == "packed-split"
         assert np.array_equal(plan.apply(data), mat_data_product_reference(GF65536, coeffs, data))
 
     def test_gf65536_large_uses_full_tables(self):
-        plan = CodingPlan(GF65536, random_symbols(GF65536, (4, 6), seed=8))
+        plan = CodingPlan(GF65536, random_symbols(GF65536, (4, 6), seed=8), kernel="table")
         assert plan.kernel == "packed-full"
 
     def test_spans_multiple_chunks(self):

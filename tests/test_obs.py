@@ -394,7 +394,8 @@ class TestKernelProfiler:
             code.encode(grid)
         snap = prof.snapshot()
         assert snap, "encode recorded no kernel calls"
-        known = {"copy", "packed-full", "packed-split", "direct-small", "xor"}
+        known = {"copy", "packed-full", "packed-split", "direct-small", "xor",
+                 "native", "native-xor"}
         assert set(snap) <= known
         for entry in snap.values():
             assert set(entry) == {"calls", "seconds", "bytes", "mb_per_s"}
