@@ -59,13 +59,39 @@ HEADLINE = {
         "locality_repair_ratio",
         "locality_risk_ratio",
     ),
+    # Serving gateway under Zipf traffic: latency SLOs (lower is
+    # better), cache effectiveness and chaos availability.  The
+    # galloper-vs-rs tail gain is the load-spreading story; chaos p99 is
+    # recorded per code but gated only for Galloper (the code whose
+    # serving behaviour this repo is about).
+    "serving": (
+        "p50_zipf_galloper",
+        "p99_zipf_rs",
+        "p99_zipf_galloper",
+        "p99_chaos_galloper",
+        "galloper_vs_rs_p99_gain",
+        "cache_hit_ratio",
+        "availability_chaos",
+    ),
 }
 
 BASELINES = {
     "kernels": REPO_ROOT / "BENCH_kernels.json",
     "striped": REPO_ROOT / "BENCH_striped.json",
     "reliability": REPO_ROOT / "BENCH_reliability.json",
+    "serving": REPO_ROOT / "BENCH_serving.json",
 }
+
+#: Metrics where *smaller* is healthier (latency percentiles): the
+#: regression test is inverted — a fresh value more than ``tolerance``
+#: *above* the baseline fails, and :data:`CEILINGS` bound them
+#: absolutely the way :data:`FLOORS` bounds speedups.
+LOWER_IS_BETTER = frozenset({
+    "p50_zipf_galloper",
+    "p99_zipf_rs",
+    "p99_zipf_galloper",
+    "p99_chaos_galloper",
+})
 
 #: Native-tier metrics exist only where a C toolchain (or a cached build
 #: artifact) does.  When either the baseline or the fresh run reports
@@ -78,7 +104,7 @@ NATIVE_METRICS = frozenset({"native_wide_speedup", "native_wide_gbps"})
 #: given seed, but a legitimate change to the event stream (new failure
 #: type, reordered draws) shifts them more than a timing ratio shifts —
 #: the wider band still catches sign flips and structural collapses.
-TOLERANCES = {"reliability": 0.5}
+TOLERANCES = {"reliability": 0.5, "serving": 0.5}
 
 #: Absolute floors: the batched pipeline's speedups must stay >= 2x even
 #: if someone commits a slower baseline.
@@ -110,6 +136,24 @@ FLOORS = {
     "spread_placement_nines_gain": 0.05,
     "locality_repair_ratio": 1.3,
     "locality_risk_ratio": 1.05,
+    # Serving gate (full sweeps only): the hot-stripe cache must keep
+    # absorbing the Zipf head, chaos must not dent availability, and
+    # Galloper's spread layout must not *lose* the clean-Zipf tail to
+    # RS at equal overhead (the load-spreading story; measured >1).
+    "cache_hit_ratio": 0.3,
+    "availability_chaos": 0.99,
+    "galloper_vs_rs_p99_gain": 1.0,
+}
+
+#: Absolute latency ceilings (sim seconds) for lower-is-better metrics,
+#: applied on full sweeps like :data:`FLOORS`.  Generous: the gate is
+#: the baseline comparison; ceilings only catch collapse (a hedge storm
+#: or a queueing bug inflating the tail by orders of magnitude).
+CEILINGS = {
+    "p50_zipf_galloper": 0.05,
+    "p99_zipf_rs": 0.25,
+    "p99_zipf_galloper": 0.25,
+    "p99_chaos_galloper": 1.0,
 }
 
 
@@ -136,13 +180,36 @@ def compare(
         if metric in skip:
             continue
         if metric not in baseline:
-            failures.append(f"{name}: baseline is missing headline metric {metric!r}")
+            failures.append(
+                f"{name}: baseline {BASELINES[name].name} is missing headline metric "
+                f"{metric!r} — re-record it with `python benchmarks/run_{name}.py`"
+            )
             continue
         if metric not in fresh:
             failures.append(f"{name}: fresh run is missing headline metric {metric!r}")
             continue
-        base = float(baseline[metric])
-        got = float(fresh[metric])
+        try:
+            base = float(baseline[metric])
+            got = float(fresh[metric])
+        except (TypeError, ValueError):
+            failures.append(
+                f"{name}.{metric}: non-numeric value "
+                f"(baseline {baseline[metric]!r}, fresh {fresh[metric]!r})"
+            )
+            continue
+        if metric in LOWER_IS_BETTER:
+            allowed = base * (1.0 + tolerance)
+            if got > allowed:
+                failures.append(
+                    f"{name}.{metric}: {got:.4f} > {allowed:.4f} "
+                    f"(baseline {base:.4f}, tolerance {tolerance:.0%}, lower is better)"
+                )
+            ceiling = CEILINGS.get(metric)
+            if floors and ceiling is not None and got > ceiling:
+                failures.append(
+                    f"{name}.{metric}: {got:.4f} above absolute ceiling {ceiling:.3f}s"
+                )
+            continue
         allowed = base * (1.0 - tolerance)
         if got < allowed:
             failures.append(
@@ -202,6 +269,16 @@ def measure_reliability(quick: bool) -> dict:
     return run_reliability.run(quick, seed=2026)
 
 
+def measure_serving(quick: bool) -> dict:
+    """Run the serving sweep in-process and return its record."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import run_serving
+    finally:
+        sys.path.pop(0)
+    return run_serving.run(quick, seed=2026)
+
+
 def _load(path: Path) -> dict:
     try:
         return json.loads(path.read_text())
@@ -233,6 +310,10 @@ def main(argv: list[str] | None = None) -> int:
         "--fresh-reliability", type=Path,
         help="use a pre-computed reliability result file instead of benchmarking",
     )
+    parser.add_argument(
+        "--fresh-serving", type=Path,
+        help="use a pre-computed serving result file instead of benchmarking",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -250,11 +331,13 @@ def main(argv: list[str] | None = None) -> int:
             "kernels": args.fresh_kernels,
             "striped": args.fresh_striped,
             "reliability": args.fresh_reliability,
+            "serving": args.fresh_serving,
         }[name]
         measure = {
             "kernels": measure_kernels,
             "striped": measure_striped,
             "reliability": measure_reliability,
+            "serving": measure_serving,
         }[name]
         fresh = _load(precomputed) if precomputed else measure(args.quick)
         if precomputed and args.quick:
@@ -268,8 +351,8 @@ def main(argv: list[str] | None = None) -> int:
         for metric in HEADLINE[name]:
             base = baseline.get(metric)
             got = fresh.get(metric)
-            if base is not None and got is not None:
-                print(f"{name}.{metric}: fresh {float(got):.3f} vs baseline {float(base):.3f}")
+            if isinstance(base, (int, float)) and isinstance(got, (int, float)):
+                print(f"{name}.{metric}: fresh {got:.4f} vs baseline {base:.4f}")
     if failures:
         print("\nREGRESSION GATE FAILED:", file=sys.stderr)
         for line in failures:

@@ -1,0 +1,328 @@
+"""Serving benchmark runner: writes the BENCH_serving.json file.
+
+Drives the multi-tenant serving gateway with a closed-loop Zipf
+workload — diurnal load curve, a flash crowd, and a chaos variant with
+a gray-slow server, a mid-run crash and concurrent reconstruction —
+for RS / Pyramid / Galloper at equal 1.75x storage overhead, and
+appends one run record to ``BENCH_serving.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_serving.py --quick [--out PATH] [--seed S]
+    PYTHONPATH=src python benchmarks/run_serving.py           # full (nightly) sweep
+
+The serving thesis under test: at equal overhead, a Galloper layout
+stores original data on all ``n`` blocks, so a hot file's cache misses
+spread over ``n`` disks where RS concentrates them on its ``k`` data
+blocks — a flatter per-server load and a lower latency tail.  Headline
+fields (also printed):
+
+* ``p50_zipf_<code>`` / ``p95_zipf_<code>`` / ``p99_zipf_<code>`` —
+  read latency (sim seconds) under the clean Zipf scenario.
+* ``p99_chaos_<code>`` — tail latency with a gray server, a crash and
+  repair running as serving traffic.
+* ``galloper_vs_rs_p99_gain`` — RS p99 over Galloper p99 under Zipf
+  (>1 = Galloper's spread layout wins the tail; recorded honestly
+  either way).
+* ``cache_hit_ratio`` — Galloper hot-stripe cache hit ratio (Zipf).
+* ``availability_chaos`` — worst-case fraction of chaos-scenario reads
+  served successfully, across codes.
+
+Latency percentiles are computed from the raw per-request latency list
+(never the registry's capped histogram reservoirs), so the tails over
+10^5+ requests are exact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.placement import RandomPlacement
+from repro.cluster.topology import Cluster
+from repro.codes import PyramidCode, ReedSolomonCode
+from repro.core.galloper import GalloperCode
+from repro.faults.model import FaultModel, GraySlowdown, LatencySpikes
+from repro.serving import (
+    FlashCrowd,
+    GatewayConfig,
+    ServingGateway,
+    WorkloadGenerator,
+    WorkloadSpec,
+    populate,
+)
+from repro.storage.filesystem import DistributedFileSystem
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+# Equal 1.75x overhead: n=7 blocks storing k=4 blocks' worth of data.
+CODES = {
+    "rs": lambda: ReedSolomonCode(4, 3),
+    "pyramid": lambda: PyramidCode(4, 2, 1),
+    "galloper": lambda: GalloperCode(4, 2, 1),
+}
+
+#: Client density a single simulated disk sustains without the sweep
+#: degenerating into a pure IOPS-saturation measurement.  The cluster
+#: is sized to the client population at this constant density — the way
+#: a real deployment is capacity-planned — so the tail compares the
+#: codes' *load spread*, not which one queues less when every disk is
+#: past capacity.  (Past saturation the finer Galloper stripes lose
+#: outright on per-request IO count; see docs/SERVING.md.)  1 500
+#: clients/disk sits at moderate utilization: queues deep enough that
+#: placement hotspots show in the tail, shallow enough that the knee
+#: is still far away (p99 ~15x p50, not ~500x).
+CLIENTS_PER_SERVER = 1_500
+MIN_SERVERS = 20
+GRAY_SERVER = 1
+CRASH_SERVER = 0
+
+
+def servers_for(clients: int) -> int:
+    return max(MIN_SERVERS, clients // CLIENTS_PER_SERVER)
+
+#: Hot-stripe cache budget in *bytes*, converted to entries per code.
+#: Stripe granularity differs structurally (RS keeps 64 KB rows where
+#: Galloper's N=7 sub-striping yields 9 KB rows), so an entry-count
+#: capacity would hand RS 7x the cache memory; a byte budget compares
+#: the codes at equal resources — and lets Galloper's finer granularity
+#: cache exactly the hot rows, which is the parallelism argument.
+CACHE_BYTES = 24 << 20
+
+
+def cache_entries_for(code_name: str, file_size: int) -> int:
+    probe = CODES[code_name]()
+    stripe_bytes = -(-file_size // probe.data_stripe_total)
+    return max(64, CACHE_BYTES // stripe_bytes)
+
+HEADLINE_KEYS = (
+    "p50_zipf_rs",
+    "p50_zipf_pyramid",
+    "p50_zipf_galloper",
+    "p95_zipf_galloper",
+    "p99_zipf_rs",
+    "p99_zipf_pyramid",
+    "p99_zipf_galloper",
+    "p99_chaos_rs",
+    "p99_chaos_pyramid",
+    "p99_chaos_galloper",
+    "galloper_vs_rs_p99_gain",
+    "cache_hit_ratio",
+    "availability_chaos",
+)
+
+
+def workload_spec(quick: bool, seed: int) -> WorkloadSpec:
+    clients = 2_000 if quick else 120_000
+    return WorkloadSpec(
+        tenants=("alpha", "beta", "gamma", "delta"),
+        files_per_tenant=64,
+        clients=clients,
+        requests_per_client=3,
+        read_size=8192,
+        file_size=262_144,
+        zipf_s=1.1,
+        think_time=2.0,
+        diurnal_amplitude=0.4,
+        diurnal_period=4.0,
+        flash_crowd=FlashCrowd(start=2.0, end=4.0, key_index=37, fraction=0.5),
+        seed=seed,
+    )
+
+
+def run_scenario(code_name: str, scenario: str, spec: WorkloadSpec, seed: int) -> dict:
+    """One (code, scenario) cell: build the cluster, serve the workload."""
+    chaos = scenario == "chaos"
+    fault_model = None
+    if chaos:
+        # A gray-slow disk for the whole run plus occasional latency
+        # spikes everywhere: the conditions hedged reads exist for.
+        fault_model = FaultModel(
+            GraySlowdown(servers=frozenset({GRAY_SERVER}), extra_latency=0.08),
+            LatencySpikes(rate=0.002, latency=0.05),
+            seed=seed,
+        )
+    cluster = Cluster.homogeneous(servers_for(spec.clients))
+    dfs = DistributedFileSystem(cluster, fault_model=fault_model)
+    gateway = ServingGateway(
+        dfs,
+        config=GatewayConfig(
+            cache_entries=cache_entries_for(code_name, spec.file_size),
+            # Hedge when the predicted primary completion exceeds ~the
+            # clean-scenario p99 (Dean's tail-at-scale guidance); the
+            # default 20ms is tuned for far slower disks.
+            hedge_threshold=0.005,
+            # The QoS cap is exercised by the repair tenant (and the
+            # unit tests); foreground tenants get headroom so the bench
+            # measures disk queueing, not an arbitrary admission knob.
+            max_inflight_per_tenant=spec.clients,
+            tenant_limits={"repair": 4},
+        ),
+    )
+    populate(gateway, spec, CODES[code_name], placement=RandomPlacement(seed=seed))
+    generator = WorkloadGenerator(spec)
+
+    repair_done: list[int] = []
+    if chaos:
+        def crash_and_repair() -> None:
+            cluster.fail(CRASH_SERVER)
+            gateway.loop.create_task(
+                _record_repair(gateway, repair_done), name="repair"
+            )
+
+        # Crash mid-run: a third of the way through the nominal
+        # requests_per_client * think_time horizon.
+        gateway.loop.sim.schedule(2.0, crash_and_repair, name="crash")
+
+    t0 = time.perf_counter()
+    result = generator.run(gateway)
+    wall = time.perf_counter() - t0
+
+    counters = gateway.counters()
+    return {
+        "code": code_name,
+        "scenario": scenario,
+        "requests": len(result.latencies),
+        "failures": result.failures,
+        "availability": result.availability(),
+        "p50": result.percentile(50),
+        "p95": result.percentile(95),
+        "p99": result.percentile(99),
+        "mean": sum(result.latencies) / len(result.latencies) if result.latencies else 0.0,
+        "cache_hit_ratio": gateway.cache.hit_ratio(),
+        "coalesced_reads": counters["coalesced_reads"],
+        "hedges_fired": counters["hedges_fired"],
+        "hedges_won": counters["hedges_won"],
+        "degraded_reads": counters["degraded_reads"],
+        "throttle_waits": counters["throttle_waits"],
+        "repair_blocks": counters["repair_blocks"],
+        "blocks_rebuilt": repair_done[0] if repair_done else 0,
+        "sim_duration": result.duration,
+        "wall_seconds": round(wall, 2),
+    }
+
+
+async def _record_repair(gateway: ServingGateway, out: list[int]):
+    out.append(await gateway.repair_server(CRASH_SERVER))
+
+
+def run(quick: bool, seed: int) -> dict:
+    spec = workload_spec(quick, seed)
+    t0 = time.perf_counter()
+    cells: list[dict] = []
+    for scenario in ("zipf", "chaos"):
+        for code_name in CODES:
+            cell = run_scenario(code_name, scenario, spec, seed)
+            cells.append(cell)
+            print(
+                f"  {code_name:>9} {scenario:>5}: p50 {cell['p50']*1e3:7.2f}ms  "
+                f"p99 {cell['p99']*1e3:7.2f}ms  hit {cell['cache_hit_ratio']:.3f}  "
+                f"avail {cell['availability']:.4f}  ({cell['wall_seconds']}s)"
+            )
+
+    by = {(c["code"], c["scenario"]): c for c in cells}
+    record: dict = {
+        "quick": quick,
+        "seed": seed,
+        "clients": spec.clients,
+        "requests_per_code": spec.clients * spec.requests_per_client,
+        "tenants": len(spec.tenants),
+        "servers": servers_for(spec.clients),
+        "zipf_s": spec.zipf_s,
+        "cells": cells,
+    }
+    for scenario in ("zipf", "chaos"):
+        for code_name in CODES:
+            cell = by[(code_name, scenario)]
+            for q in ("p50", "p95", "p99"):
+                record[f"{q}_{scenario}_{code_name}"] = cell[q]
+    record["galloper_vs_rs_p99_gain"] = (
+        by[("rs", "zipf")]["p99"] / by[("galloper", "zipf")]["p99"]
+        if by[("galloper", "zipf")]["p99"] > 0
+        else 1.0
+    )
+    record["cache_hit_ratio"] = by[("galloper", "zipf")]["cache_hit_ratio"]
+    record["availability_chaos"] = min(
+        by[(c, "chaos")]["availability"] for c in CODES
+    )
+    record["wall_seconds"] = round(time.perf_counter() - t0, 2)
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    record["python"] = platform.python_version()
+    return record
+
+
+def sanity_failures(record: dict) -> list[str]:
+    """Loose invariants any healthy run must satisfy (gate is tighter)."""
+    failures = []
+    for cell in record["cells"]:
+        if cell["requests"] + cell["failures"] == 0:
+            failures.append(f"{cell['code']}/{cell['scenario']}: no requests completed")
+    if record["availability_chaos"] < 0.9:
+        failures.append(
+            f"chaos availability collapsed ({record['availability_chaos']:.4f} < 0.9)"
+        )
+    if record["cache_hit_ratio"] <= 0.0:
+        failures.append("hot-stripe cache never hit under Zipf skew")
+    for code in CODES:
+        if record[f"p99_zipf_{code}"] <= 0.0:
+            failures.append(f"degenerate zero p99 for {code}")
+    chaos_repairs = [c["blocks_rebuilt"] for c in record["cells"] if c["scenario"] == "chaos"]
+    if chaos_repairs and max(chaos_repairs) == 0:
+        failures.append("chaos scenario rebuilt no blocks; repair path never ran")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_serving.json",
+        help="trajectory file to append the run to",
+    )
+    parser.add_argument("--quick", action="store_true", help="small CI smoke sweep (~30s)")
+    parser.add_argument("--seed", type=int, default=2026, help="workload seed")
+    args = parser.parse_args(argv)
+
+    print(f"serving sweep: {'quick' if args.quick else 'full'} (seed {args.seed})")
+    record = run(args.quick, args.seed)
+    history: list[dict] = []
+    if args.out.exists():
+        try:
+            history = json.loads(args.out.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            history = []
+    history.append(record)
+    # Top-level headline mirrors the latest *full* sweep (that is what
+    # full-mode check_regression.py gates); a quick run only appends to
+    # the history the quick gate compares against.
+    head = next((r for r in reversed(history) if not r.get("quick")), record)
+    payload = {key: head[key] for key in HEADLINE_KEYS}
+    payload["runs"] = history
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"wrote {args.out}")
+    print(
+        f"  {record['clients']} clients x {record['requests_per_code'] // record['clients']} "
+        f"requests x {len(CODES)} codes x 2 scenarios in {record['wall_seconds']}s"
+    )
+    for key in HEADLINE_KEYS:
+        print(f"  {key:>26}: {record[key]:.4f}")
+
+    failures = sanity_failures(record)
+    if failures:
+        print("FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

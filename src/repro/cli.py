@@ -7,6 +7,8 @@ Brings the library to the shell the way a storage tool would be used:
 * ``decode``  — recover the original file from (a subset of) block files.
 * ``repair``  — rebuild one missing block file from the survivors.
 * ``analyze`` — reliability / availability report for a code.
+* ``serve``   — drive a multi-tenant Zipf workload through the serving
+  gateway (optionally with chaos and a Chrome-trace export).
 * ``figures`` — regenerate the paper's experiment tables.
 * ``stats``   — run a seeded striped workload (batched write, read,
   server failure + bulk repair) and dump the coding-plan cache and
@@ -335,11 +337,54 @@ def run_striped_stats(code_factory, groups: int = 16, block_bytes: int = 4096, s
         "kernel_bytes": kernel_bytes_info(),
         "metrics": snap,
         "metrics_all": dfs.metrics.snapshot_all(),
+        "serving": run_serving_stats(code_factory, seed=seed),
         "derived": {
             "groups_per_apply": snap.get("batch_groups", 0) / applies if applies else 0.0,
             "zero_copy_fraction": zero / (zero + copied) if zero + copied else 0.0,
         },
     }
+
+
+def run_serving_stats(code_factory, clients: int = 64, seed: int = 0) -> dict:
+    """Small seeded serving workload; returns the gateway counters.
+
+    Same stable-schema contract as the striped section: every counter
+    key is present for every code family, so dashboards diffing
+    ``repro stats`` output across codes see value changes, not schema
+    changes.
+    """
+    from repro.cluster.placement import RandomPlacement
+    from repro.cluster.topology import Cluster
+    from repro.serving import (
+        GatewayConfig,
+        ServingGateway,
+        WorkloadGenerator,
+        WorkloadSpec,
+        populate,
+    )
+    from repro.storage import DistributedFileSystem
+
+    spec = WorkloadSpec(
+        tenants=("alpha", "beta"),
+        files_per_tenant=8,
+        clients=clients,
+        requests_per_client=2,
+        read_size=2048,
+        file_size=16384,
+        think_time=0.01,
+        seed=seed,
+    )
+    cluster = Cluster.homogeneous(20)
+    dfs = DistributedFileSystem(cluster)
+    gateway = ServingGateway(dfs, config=GatewayConfig(tenant_limits={"repair": 4}))
+    populate(gateway, spec, code_factory, placement=RandomPlacement(seed=seed))
+    result = WorkloadGenerator(spec).run(gateway)
+    payload = dict(gateway.counters())
+    payload["requests"] = len(result.latencies)
+    payload["failures"] = result.failures
+    payload["p99"] = result.percentile(99)
+    payload["cache_hit_ratio"] = gateway.cache.hit_ratio()
+    return payload
 
 
 def cmd_stats(args, out=None) -> int:
@@ -351,6 +396,91 @@ def cmd_stats(args, out=None) -> int:
         seed=args.seed,
     )
     print(json.dumps(result, indent=2), file=out)
+    return 0
+
+
+def cmd_serve(args, out=None) -> int:
+    """Drive a Zipf workload through the serving gateway; print JSON."""
+    out = out or sys.stdout
+    import contextlib
+
+    from repro.cluster.placement import RandomPlacement
+    from repro.cluster.topology import Cluster
+    from repro.faults.model import FaultModel, GraySlowdown, LatencySpikes
+    from repro.obs import Tracer, use_tracer
+    from repro.serving import (
+        FlashCrowd,
+        GatewayConfig,
+        ServingGateway,
+        WorkloadGenerator,
+        WorkloadSpec,
+        populate,
+    )
+    from repro.storage import DistributedFileSystem
+
+    fault_model = None
+    if args.chaos:
+        fault_model = FaultModel(
+            GraySlowdown(servers=frozenset({1}), extra_latency=0.08),
+            LatencySpikes(rate=0.002, latency=0.05),
+            seed=args.seed,
+        )
+    spec = WorkloadSpec(
+        tenants=tuple(args.tenants.split(",")),
+        files_per_tenant=args.files,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        read_size=args.read_size,
+        file_size=args.file_size,
+        zipf_s=args.zipf,
+        think_time=args.think,
+        diurnal_amplitude=0.4,
+        diurnal_period=4.0,
+        flash_crowd=FlashCrowd(start=2.0, end=4.0, fraction=0.5) if args.flash_crowd else None,
+        seed=args.seed,
+    )
+    cluster = Cluster.homogeneous(args.servers)
+    dfs = DistributedFileSystem(cluster, fault_model=fault_model)
+    gateway = ServingGateway(
+        dfs,
+        config=GatewayConfig(
+            hedge_threshold=0.005,
+            max_inflight_per_tenant=spec.clients,
+            tenant_limits={"repair": 4},
+        ),
+    )
+    populate(gateway, spec, lambda: build_code(args), placement=RandomPlacement(seed=args.seed))
+    if args.chaos:
+        # Mid-run crash: reconstruction competes with foreground reads
+        # through the same tenant throttle and disk queues.
+        def crash() -> None:
+            cluster.fail(0)
+            gateway.loop.create_task(gateway.repair_server(0), name="repair")
+
+        gateway.loop.sim.schedule(2.0, crash, name="crash")
+
+    tracer = Tracer() if args.trace else None
+    with use_tracer(tracer) if tracer else contextlib.nullcontext():
+        result = WorkloadGenerator(spec).run(gateway)
+    summary = {
+        "code": repr(build_code(args)),
+        "scenario": "chaos" if args.chaos else "zipf",
+        "clients": spec.clients,
+        "requests": len(result.latencies),
+        "failures": result.failures,
+        "availability": result.availability(),
+        "p50": result.percentile(50),
+        "p95": result.percentile(95),
+        "p99": result.percentile(99),
+        "sim_duration": result.duration,
+        "cache_hit_ratio": gateway.cache.hit_ratio(),
+        "counters": gateway.counters(),
+    }
+    print(json.dumps(summary, indent=2), file=out)
+    if tracer is not None:
+        tracer.export(args.trace)
+        print(f"wrote {len(tracer.spans)} spans to {args.trace}", file=out)
+        print("open in https://ui.perfetto.dev or chrome://tracing", file=out)
     return 0
 
 
@@ -598,6 +728,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=2026, help="campaign seed (default 2026)")
     p.add_argument("--out", help="write the full campaign record as JSON to this path")
     p.set_defaults(func=cmd_reliability)
+
+    p = sub.add_parser("serve", help="multi-tenant Zipf workload through the serving gateway")
+    _add_code_args(p)
+    p.add_argument("--clients", type=int, default=500, help="closed-loop clients (default 500)")
+    p.add_argument("--requests", type=int, default=3, help="reads per client (default 3)")
+    p.add_argument("--tenants", default="alpha,beta", help="comma-separated tenant names")
+    p.add_argument("--files", type=int, default=32, help="files per tenant (default 32)")
+    p.add_argument("--read-size", type=int, default=4096, help="bytes per read (default 4096)")
+    p.add_argument("--file-size", type=int, default=65536, help="bytes per file (default 65536)")
+    p.add_argument("--zipf", type=float, default=1.1, help="Zipf exponent (default 1.1)")
+    p.add_argument("--think", type=float, default=0.5, help="mean think time seconds (default 0.5)")
+    p.add_argument("--servers", type=int, default=20, help="cluster size (default 20)")
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="gray server + latency spikes + mid-run crash with concurrent repair",
+    )
+    p.add_argument("--flash-crowd", action="store_true", help="hot-key episode at t=2..4s")
+    p.add_argument("--trace", help="export a Chrome-trace JSON of the run to this path")
+    p.add_argument("--seed", type=int, default=0, help="workload seed")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("stats", help="batched-pipeline and plan-cache stats for a seeded workload")
     _add_code_args(p)

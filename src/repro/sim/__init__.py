@@ -1,6 +1,15 @@
 """Deterministic discrete-event simulation engine and resources."""
 
+from repro.sim.aio import SimFuture, SimLoop, SimTask
 from repro.sim.engine import Simulation, SimulationError
 from repro.sim.resources import SlotResource, ThroughputResource
 
-__all__ = ["Simulation", "SimulationError", "SlotResource", "ThroughputResource"]
+__all__ = [
+    "SimFuture",
+    "SimLoop",
+    "SimTask",
+    "Simulation",
+    "SimulationError",
+    "SlotResource",
+    "ThroughputResource",
+]

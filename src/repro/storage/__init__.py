@@ -6,6 +6,7 @@ from repro.storage.filesystem import DistributedFileSystem, EncodedFile, FileSys
 from repro.storage.health import CLOSED, HALF_OPEN, OPEN, HealthMonitor, ServerHealth
 from repro.storage.metrics import Counter, MetricsRegistry
 from repro.storage.repair import (
+    LeaseTable,
     RepairAdmissionController,
     RepairManager,
     RepairReport,
@@ -32,6 +33,7 @@ __all__ = [
     "ServerHealth",
     "Counter",
     "MetricsRegistry",
+    "LeaseTable",
     "RepairAdmissionController",
     "RepairManager",
     "RepairReport",

@@ -318,6 +318,16 @@ class DistributedFileSystem:
             self._stripe_maps[name] = mapping
         return self._stripe_maps[name]
 
+    def stripe_holders(self, name: str) -> dict[int, tuple[int, int]]:
+        """``file stripe -> (block, row)`` for every verbatim-stored stripe.
+
+        The map the serving gateway routes on: systematic codes store
+        every file stripe verbatim somewhere, and *which block* holds it
+        is exactly the load-spreading property under test (RS confines
+        data to ``k`` blocks; Galloper spreads it over all ``n``).
+        """
+        return dict(self._stripe_map(name))
+
     def read_file(self, name: str) -> bytes:
         """Read a whole file back, degraded-decoding if servers are down."""
         ef = self.file(name)

@@ -25,6 +25,52 @@ from repro.storage.metrics import MetricsRegistry
 DECODE_RATE = 400 * (1 << 20)
 
 
+class LeaseTable:
+    """Expiring token leases keyed by an arbitrary hashable.
+
+    The primitive under both repair admission control (keys = helper
+    server ids, synchronous clock-advancing waits) and the serving
+    gateway's per-tenant QoS throttle (keys = tenant names, coroutine
+    waits on the sim loop).  A lease is a bare expiry timestamp; holders
+    may also release early by handle, which the serving path uses when a
+    request finishes ahead of its estimate.
+    """
+
+    def __init__(self):
+        self._leases: dict[object, dict[int, float]] = {}
+        self._next_handle = 0
+
+    def active(self, key, now: float) -> list[float]:
+        """Expiries of live leases on ``key``, pruning the expired."""
+        held = self._leases.get(key)
+        if not held:
+            return []
+        expired = [h for h, t in held.items() if t <= now]
+        for h in expired:
+            del held[h]
+        return list(held.values())
+
+    def count(self, key, now: float) -> int:
+        return len(self.active(key, now))
+
+    def earliest(self, key, now: float) -> float | None:
+        """Soonest expiry among live leases on ``key`` (None when free)."""
+        live = self.active(key, now)
+        return min(live) if live else None
+
+    def grant(self, key, expiry: float) -> int:
+        """Record a lease on ``key`` until ``expiry``; returns a handle."""
+        self._next_handle += 1
+        self._leases.setdefault(key, {})[self._next_handle] = expiry
+        return self._next_handle
+
+    def release(self, key, handle: int) -> None:
+        """Return a lease before its expiry (idempotent)."""
+        held = self._leases.get(key)
+        if held is not None:
+            held.pop(handle, None)
+
+
 class RepairAdmissionController:
     """Token-based throttle bounding concurrent repair reads per server.
 
@@ -49,14 +95,11 @@ class RepairAdmissionController:
         self.clock = clock
         self.max_inflight_per_server = max_inflight_per_server
         self.metrics = metrics or MetricsRegistry()
-        self._leases: dict[int, list[float]] = {}
+        self._leases = LeaseTable()
         self.waits = 0
 
     def _active(self, server_id: int) -> list[float]:
-        now = self.clock.now
-        live = [t for t in self._leases.get(server_id, []) if t > now]
-        self._leases[server_id] = live
-        return live
+        return self._leases.active(server_id, self.clock.now)
 
     def inflight(self, server_id: int) -> int:
         """Repair-read leases currently held on one server."""
@@ -98,7 +141,7 @@ class RepairAdmissionController:
                     servers=sorted(server_durations),
                 )
         for sid, duration in server_durations.items():
-            self._leases.setdefault(sid, []).append(now + duration)
+            self._leases.grant(sid, now + duration)
         return now
 
 

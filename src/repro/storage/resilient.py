@@ -205,6 +205,9 @@ class ResilientBlockClient:
             data2, lat2 = hedge_op()
         except TransientReadError:
             return data, latency  # the hedge lost by failing; primary stands
+        # Exactly one of the two completed payloads survives; the other
+        # is discarded (the serving-path tests pin this accounting).
+        self.metrics.add("hedged_losers_discarded", 1, server_id)
         hedged_completion = base + self.policy.hedge_threshold + lat2
         if hedged_completion < latency:
             self.metrics.add("hedged_wins", 1, server_id)

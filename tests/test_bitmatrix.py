@@ -43,6 +43,10 @@ from repro.gf import (
     validate_symbols,
 )
 
+# REPRO_KERNEL knob tests and the selection counters touch process-global
+# kernel state; share an xdist serial group with tests/test_native.py.
+pytestmark = pytest.mark.xdist_group("kernel-global-state")
+
 FIELDS = {"gf256": GF256, "gf65536": GF65536}
 
 

@@ -35,6 +35,26 @@ def reliability_baseline():
     return json.loads((REPO_ROOT / "BENCH_reliability.json").read_text())
 
 
+@pytest.fixture(scope="module")
+def serving_baseline():
+    return json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+
+
+def serving_record(**over) -> dict:
+    """A synthetic serving headline record (all gated metrics present)."""
+    rec = {
+        "p50_zipf_galloper": 0.001,
+        "p99_zipf_rs": 0.010,
+        "p99_zipf_galloper": 0.008,
+        "p99_chaos_galloper": 0.020,
+        "galloper_vs_rs_p99_gain": 1.25,
+        "cache_hit_ratio": 0.8,
+        "availability_chaos": 1.0,
+    }
+    rec.update(over)
+    return rec
+
+
 def slowed(record: dict, factor: float = 0.5) -> dict:
     """A copy of ``record`` with every headline ratio scaled by ``factor``."""
     out = dict(record)
@@ -87,10 +107,13 @@ class TestCompare:
         assert any("missing headline metric" in f and "plan_cache_speedup" in f
                    for f in fails)
         fails = cr.compare("kernels", fresh, kernels_baseline)
-        assert any("baseline is missing" in f for f in fails)
+        assert any(
+            "baseline" in f and "missing headline metric" in f and "run_kernels.py" in f
+            for f in fails
+        )
 
     def test_every_headline_metric_has_a_baseline(
-        self, kernels_baseline, striped_baseline, reliability_baseline
+        self, kernels_baseline, striped_baseline, reliability_baseline, serving_baseline
     ):
         # The committed trajectories must actually carry the gated metrics.
         for metric in cr.HEADLINE["kernels"]:
@@ -99,6 +122,8 @@ class TestCompare:
             assert metric in striped_baseline
         for metric in cr.HEADLINE["reliability"]:
             assert metric in reliability_baseline
+        for metric in cr.HEADLINE["serving"]:
+            assert metric in serving_baseline
 
     def test_reliability_baseline_vs_itself_passes(self, reliability_baseline):
         assert cr.compare("reliability", reliability_baseline, reliability_baseline) == []
@@ -113,6 +138,67 @@ class TestCompare:
             tolerance=cr.TOLERANCES["reliability"],
         )
         assert any("rack_placement_nines_gain" in f for f in fails)
+
+
+class TestServingGate:
+    """The serving family gates latency in the lower-is-better direction."""
+
+    TOL = 0.5  # TOLERANCES["serving"]
+
+    def test_identical_record_passes(self):
+        rec = serving_record()
+        assert cr.compare("serving", rec, serving_record(), tolerance=self.TOL) == []
+
+    def test_committed_baseline_vs_itself_passes(self, serving_baseline):
+        assert cr.compare(
+            "serving", serving_baseline, dict(serving_baseline), tolerance=self.TOL
+        ) == []
+
+    def test_latency_increase_beyond_tolerance_fails(self):
+        fresh = serving_record(p99_zipf_galloper=0.008 * 2.5)
+        fails = cr.compare("serving", serving_record(), fresh, tolerance=self.TOL)
+        assert len(fails) == 1
+        assert "p99_zipf_galloper" in fails[0] and "lower is better" in fails[0]
+
+    def test_latency_improvement_never_fails(self):
+        # Halving every latency is an improvement, not a regression —
+        # the higher-is-better rule would flag exactly this.
+        fresh = serving_record(
+            p50_zipf_galloper=0.0005, p99_zipf_rs=0.005,
+            p99_zipf_galloper=0.004, p99_chaos_galloper=0.010,
+        )
+        assert cr.compare("serving", serving_record(), fresh, tolerance=self.TOL) == []
+
+    def test_absolute_ceiling_on_full_sweeps(self):
+        # Baseline matched so the relative check passes; the absolute
+        # ceiling (hedge-storm backstop) must still trip on full sweeps.
+        base = serving_record(p99_zipf_galloper=0.30)
+        fresh = serving_record(p99_zipf_galloper=0.30)
+        fails = cr.compare("serving", base, fresh, tolerance=self.TOL, floors=True)
+        assert any("absolute ceiling" in f for f in fails)
+        assert cr.compare("serving", base, fresh, tolerance=self.TOL, floors=False) == []
+
+    def test_gain_floor_catches_tail_inversion(self):
+        base = serving_record(galloper_vs_rs_p99_gain=1.8)
+        fresh = serving_record(galloper_vs_rs_p99_gain=0.9)
+        fails = cr.compare("serving", base, fresh, tolerance=self.TOL, floors=True)
+        assert any("galloper_vs_rs_p99_gain" in f and "absolute floor" in f for f in fails)
+
+    def test_non_numeric_value_is_a_clear_failure(self):
+        # A null/corrupt metric must produce a readable gate line, not a
+        # TypeError traceback.
+        base = serving_record(cache_hit_ratio=None)
+        fails = cr.compare("serving", base, serving_record(), tolerance=self.TOL)
+        assert len(fails) == 1
+        assert "non-numeric value" in fails[0] and "cache_hit_ratio" in fails[0]
+
+    def test_missing_baseline_metric_names_the_fix(self):
+        base = serving_record()
+        del base["availability_chaos"]
+        fails = cr.compare("serving", base, serving_record(), tolerance=self.TOL)
+        assert any(
+            "missing headline metric" in f and "run_serving.py" in f for f in fails
+        )
 
 
 class TestNativeMetricsSkip:
@@ -189,6 +275,11 @@ class TestBaselineRecord:
     def test_committed_reliability_baseline_has_quick_run(self, reliability_baseline):
         assert cr.baseline_record("reliability", reliability_baseline, quick=True) is not None
 
+    def test_committed_serving_baseline_has_quick_run(self, serving_baseline):
+        # The serving-smoke CI job gates quick-vs-quick; a quick record
+        # must be committed in the trajectory history.
+        assert cr.baseline_record("serving", serving_baseline, quick=True) is not None
+
 
 class TestMain:
     def _write(self, tmp_path, name, record):
@@ -196,72 +287,102 @@ class TestMain:
         path.write_text(json.dumps(record))
         return path
 
-    def _fresh_args(self, tmp_path, kernels, striped, reliability):
+    def _fresh_args(self, tmp_path, kernels, striped, reliability, serving):
         return [
             "--fresh-kernels", str(self._write(tmp_path, "k.json", kernels)),
             "--fresh-striped", str(self._write(tmp_path, "s.json", striped)),
             "--fresh-reliability", str(self._write(tmp_path, "r.json", reliability)),
+            "--fresh-serving", str(self._write(tmp_path, "v.json", serving)),
         ]
 
     def test_committed_baselines_pass(
-        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline, capsys
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline, capsys,
     ):
-        args = self._fresh_args(tmp_path, kernels_baseline, striped_baseline, reliability_baseline)
+        args = self._fresh_args(
+            tmp_path, kernels_baseline, striped_baseline, reliability_baseline,
+            serving_baseline,
+        )
         assert cr.main(args) == 0
         captured = capsys.readouterr()
         assert "regression gate passed" in captured.out
         assert "kernels.plan_cache_speedup" in captured.out
         assert "reliability.analytic_agreement" in captured.out
+        assert "serving.p99_zipf_galloper" in captured.out
 
     def test_injected_slowdown_fails(
-        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline, capsys
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline, capsys,
     ):
         args = self._fresh_args(
-            tmp_path, slowed(kernels_baseline, 0.5), striped_baseline, reliability_baseline
+            tmp_path, slowed(kernels_baseline, 0.5), striped_baseline,
+            reliability_baseline, serving_baseline,
         )
         assert cr.main(args) == 1
         captured = capsys.readouterr()
         assert "REGRESSION GATE FAILED" in captured.err
         assert "gf16_kernel_speedup" in captured.err
 
+    def test_injected_latency_blowup_fails(
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline, capsys,
+    ):
+        # A 10x serving tail inflation must trip the lower-is-better gate.
+        blown = dict(serving_baseline)
+        blown["p99_zipf_galloper"] = float(serving_baseline["p99_zipf_galloper"]) * 10
+        args = self._fresh_args(
+            tmp_path, kernels_baseline, striped_baseline, reliability_baseline, blown
+        )
+        assert cr.main(args) == 1
+        assert "p99_zipf_galloper" in capsys.readouterr().err
+
     def test_only_filters_family(
-        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline
+        self, tmp_path, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline,
     ):
         # A slowed striped file is never read when gating kernels only.
         args = self._fresh_args(
-            tmp_path, kernels_baseline, slowed(striped_baseline, 0.1), reliability_baseline
+            tmp_path, kernels_baseline, slowed(striped_baseline, 0.1),
+            reliability_baseline, serving_baseline,
         )
         assert cr.main(["--only", "kernels", *args]) == 0
         assert cr.main(["--only", "striped", *args]) == 1
 
     def test_monkeypatched_measurement_slowdown_fails(
-        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline, capsys
+        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline, capsys,
     ):
         # The full no-hooks path: live measurement comes back slow -> exit 1.
         monkeypatch.setattr(cr, "measure_kernels", lambda quick: slowed(kernels_baseline, 0.5))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: slowed(striped_baseline, 0.5))
         monkeypatch.setattr(cr, "measure_reliability", lambda quick: dict(reliability_baseline))
+        monkeypatch.setattr(cr, "measure_serving", lambda quick: dict(serving_baseline))
         assert cr.main([]) == 1
         assert "REGRESSION GATE FAILED" in capsys.readouterr().err
 
     def test_monkeypatched_measurement_steady_passes(
-        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline
+        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline,
     ):
         monkeypatch.setattr(cr, "measure_kernels", lambda quick: dict(kernels_baseline))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(striped_baseline))
         monkeypatch.setattr(cr, "measure_reliability", lambda quick: dict(reliability_baseline))
+        monkeypatch.setattr(cr, "measure_serving", lambda quick: dict(serving_baseline))
         assert cr.main([]) == 0
 
     def test_quick_mode_compares_against_quick_history(
-        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline
+        self, monkeypatch, kernels_baseline, striped_baseline, reliability_baseline,
+        serving_baseline,
     ):
         quick_base = cr.baseline_record("striped", striped_baseline, quick=True)
         quick_kern = cr.baseline_record("kernels", kernels_baseline, quick=True)
         quick_rel = cr.baseline_record("reliability", reliability_baseline, quick=True)
-        assert quick_base is not None and quick_kern is not None and quick_rel is not None
+        quick_srv = cr.baseline_record("serving", serving_baseline, quick=True)
+        assert None not in (quick_base, quick_kern, quick_rel, quick_srv)
         monkeypatch.setattr(cr, "measure_kernels", lambda quick: dict(quick_kern))
         monkeypatch.setattr(cr, "measure_striped", lambda quick: dict(quick_base))
         monkeypatch.setattr(cr, "measure_reliability", lambda quick: dict(quick_rel))
+        monkeypatch.setattr(cr, "measure_serving", lambda quick: dict(quick_srv))
         # Quick ratios sit far below the full-run floors; --quick must still pass.
         assert cr.main(["--quick"]) == 0
 

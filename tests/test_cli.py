@@ -161,11 +161,20 @@ class TestStatsSchema:
 
     TOP_KEYS = {"code", "groups", "payload_bytes", "blocks_rebuilt",
                 "plan_cache", "kernel_selection", "kernel_bytes", "metrics",
-                "metrics_all", "derived"}
+                "metrics_all", "serving", "derived"}
 
     def _stats(self, capsys, *code_args):
         assert run("stats", "--groups", 4, "--block-bytes", 2048, *code_args) == 0
         return json.loads(capsys.readouterr().out)
+
+    SERVING_KEYS = {
+        "cache_hits", "cache_misses", "cache_admissions", "cache_rejections",
+        "cache_evictions", "coalesced_reads", "hedges_fired", "hedges_won",
+        "hedge_losers_discarded", "client_hedged_reads", "client_hedged_wins",
+        "client_hedged_losers_discarded", "degraded_reads", "throttle_waits",
+        "repair_blocks", "reads_ok", "reads_failed", "slo_ok", "unavailable",
+        "requests", "failures", "p99", "cache_hit_ratio",
+    }
 
     @pytest.mark.parametrize("code_args", [
         ("--code", "rs", "--k", "4", "--g", "2"),
@@ -175,6 +184,11 @@ class TestStatsSchema:
     def test_schema_stable_across_codes(self, capsys, code_args):
         payload = self._stats(capsys, *code_args)
         assert set(payload) == self.TOP_KEYS
+        assert set(payload["serving"]) == self.SERVING_KEYS
+        assert payload["serving"]["requests"] > 0
+        assert payload["serving"]["failures"] == 0
+        assert payload["serving"]["reads_ok"] == payload["serving"]["requests"]
+        assert payload["serving"]["p99"] > 0.0
         assert set(payload["plan_cache"]) == {"size", "maxsize", "hits", "misses"}
         assert set(payload["kernel_selection"]) == {
             "copy", "packed-full", "packed-split", "xor", "native", "native-xor",
@@ -201,3 +215,45 @@ class TestStatsSchema:
         gauge = payload["metrics_all"]["gauges"]["plan_cache_hit_ratio"]
         assert gauge == pytest.approx(cache["hits"] / lookups)
         assert payload["derived"]["groups_per_apply"] >= 2.0
+
+
+class TestServeCommand:
+    """`repro serve`: workload summary JSON plus the optional trace."""
+
+    def _serve(self, capsys, *args):
+        assert run("serve", "--clients", 40, "--think", "0.05", *args) == 0
+        out = capsys.readouterr().out
+        return json.loads(out[: out.index("\n}") + 2])
+
+    @pytest.mark.parametrize("code_args", [
+        ("--code", "rs", "--k", "4", "--g", "3"),
+        ("--code", "galloper", "--k", "4", "--l", "2", "--g", "1"),
+    ], ids=["rs", "galloper"])
+    def test_summary_schema(self, capsys, code_args):
+        payload = self._serve(capsys, *code_args)
+        assert set(payload) == {
+            "code", "scenario", "clients", "requests", "failures", "availability",
+            "p50", "p95", "p99", "sim_duration", "cache_hit_ratio", "counters",
+        }
+        assert payload["scenario"] == "zipf"
+        assert payload["requests"] == 40 * 3
+        assert payload["failures"] == 0
+        assert payload["availability"] == 1.0
+        assert 0 < payload["p50"] <= payload["p99"]
+
+    def test_chaos_runs_repair_as_serving_traffic(self, capsys):
+        payload = self._serve(capsys, "--chaos", "--seed", "7")
+        assert payload["scenario"] == "chaos"
+        assert payload["counters"]["repair_blocks"] > 0
+        assert payload["availability"] >= 0.9
+
+    def test_trace_export(self, capsys, tmp_path):
+        trace = tmp_path / "serve.json"
+        assert run("serve", "--clients", 10, "--think", "0.05",
+                   "--trace", trace) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        spans = json.loads(trace.read_text())["traceEvents"]
+        names = {s.get("name") for s in spans}
+        assert "serve.read" in names
+        assert any(str(n).startswith("serve.disk") for n in names)

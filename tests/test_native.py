@@ -27,6 +27,11 @@ from repro.gf import (
 )
 from repro.gf import native as nat
 
+# The native build cache and kernel-selection counters are process-global
+# (and several tests flip REPRO_* env knobs); under pytest-xdist's
+# --dist loadgroup this pins every such test onto one worker.
+pytestmark = pytest.mark.xdist_group("kernel-global-state")
+
 LARGE = 20_000  # comfortably past SMALL_PRODUCT_ELEMS, several cache blocks
 
 needs_native = pytest.mark.skipif(
